@@ -1,0 +1,49 @@
+// Ablation (Section 4.3): implicit global-view distribution of a
+// time-stepped stencil -- BlockScatter/BlockGather collectives at every
+// timestep -- versus the explicit local-view halo-exchange program. This
+// is the motivating example for giving users direct control.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "distributed/dist_kernels.hpp"
+#include "distributed/simmpi.hpp"
+#include "kernels/suite.hpp"
+
+using namespace dace;
+
+int main() {
+  printf("=== Ablation: implicit scatter/gather vs explicit local view "
+         "(jacobi_2d) ===\n");
+  printf("%5s | %14s | %14s | %7s\n", "procs", "implicit", "explicit",
+         "ratio");
+  const int64_t N = 512, T = 20;
+  for (int p : {1, 2, 4, 8, 16, 32}) {
+    sym::SymbolMap sz{{"N", N}, {"TSTEPS", T}};
+    // Explicit local view: halo exchanges only (the Section 4.3 program).
+    dist::World w(p, dist::NetModel::mpi_cray());
+    double t_explicit =
+        dist::run_dist_kernel("jacobi_2d", w, sz, dist::NodeModel(), nullptr)
+            .time_s;
+    // Implicit global view: every half-step scatters both arrays and
+    // gathers the result (the naive composition of Section 4.1 ops).
+    // Modeled analytically with the same network/node parameters.
+    dist::NetModel net = dist::NetModel::mpi_cray();
+    dist::NodeModel node;
+    double bytes = (double)(N * N * 8);
+    double coll = net.alpha_s * (p > 1 ? std::log2((double)p) : 1) +
+                  (double)(p - 1) / p * bytes / net.bandwidth;
+    int64_t cells = (N - 2) * (N - 2) / p;
+    double halfstep = node.compute_time((uint64_t)(5 * cells),
+                                        (uint64_t)(16 * cells));
+    double t_implicit = 2.0 * (double)(T - 1) * (2 * coll + halfstep);
+    printf("%5d | %14s | %14s | %6.2fx\n", p,
+           bench::fmt_time(t_implicit).c_str(),
+           bench::fmt_time(t_explicit).c_str(), t_implicit / t_explicit);
+    fflush(stdout);
+  }
+  printf("\npaper reference: the implicit approach 'would yield unnecessary "
+         "Scatter\nand Gather collectives at every timestep' (Section 4.3); "
+         "explicit halo\nexchange avoids moving the global arrays.\n");
+  return 0;
+}

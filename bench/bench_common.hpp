@@ -1,0 +1,58 @@
+// Shared benchmark utilities: median-of-N timing with a nonparametric
+// confidence interval (the paper reports medians of 10 runs with 95%
+// nonparametric CIs, Section 3.4.1) and table formatting.
+#pragma once
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace bench {
+
+struct Timing {
+  double median_s = 0;
+  double ci_low = 0, ci_high = 0;  // nonparametric CI bounds
+  int reps = 0;
+};
+
+inline Timing time_median(const std::function<void()>& fn, int reps = 5) {
+  std::vector<double> ts;
+  for (int i = 0; i < reps; ++i) {
+    auto t0 = std::chrono::steady_clock::now();
+    fn();
+    auto t1 = std::chrono::steady_clock::now();
+    ts.push_back(std::chrono::duration<double>(t1 - t0).count());
+  }
+  std::sort(ts.begin(), ts.end());
+  Timing t;
+  t.reps = reps;
+  t.median_s = ts[ts.size() / 2];
+  t.ci_low = ts.front();
+  t.ci_high = ts.back();
+  return t;
+}
+
+inline double geomean(const std::vector<double>& xs) {
+  if (xs.empty()) return 0;
+  double acc = 0;
+  for (double x : xs) acc += std::log(x);
+  return std::exp(acc / (double)xs.size());
+}
+
+inline std::string fmt_time(double s) {
+  char buf[64];
+  if (s >= 1.0) {
+    snprintf(buf, sizeof(buf), "%.3f s", s);
+  } else if (s >= 1e-3) {
+    snprintf(buf, sizeof(buf), "%.3f ms", s * 1e3);
+  } else {
+    snprintf(buf, sizeof(buf), "%.1f us", s * 1e6);
+  }
+  return buf;
+}
+
+}  // namespace bench

@@ -1,0 +1,143 @@
+// Figure 12 + Table 2: distributed weak scaling of DaCe vs Dask-like vs
+// Legate-like on the simulated cluster.
+//
+// Table 2 semantics are preserved at reduced scale (documented in
+// EXPERIMENTS.md): per kernel, an initial problem size and a scaling
+// factor as a function of the process count S; the Dask baseline runs
+// half-sized problems (it runs out of memory / becomes unstable at the
+// DaCe sizes in the paper). Efficiency is T(1)/T(S) per framework
+// (weak scaling; ideal = 1.0). Times are virtual cluster clocks: real
+// data moves through simMPI, and compute is charged by the node model.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "distributed/dasklike.hpp"
+#include "distributed/dist_kernels.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/suite.hpp"
+
+using namespace dace;
+
+namespace {
+
+// Scaling factor kinds from Table 2.
+enum class SF { Sqrt, Cbrt, Linear, None };
+
+struct Entry {
+  std::string kernel;
+  sym::SymbolMap base;                  // initial problem size (P = 1)
+  std::map<std::string, SF> factors;    // per-symbol scaling
+  std::string sf_text;
+};
+
+int64_t scaled(int64_t v, SF f, int p) {
+  switch (f) {
+    case SF::Sqrt: return (int64_t)std::llround(v * std::sqrt((double)p));
+    case SF::Cbrt: return (int64_t)std::llround(v * std::cbrt((double)p));
+    case SF::Linear: return v * p;
+    case SF::None: return v;
+  }
+  return v;
+}
+
+sym::SymbolMap sizes_for(const Entry& e, int p, bool halved) {
+  sym::SymbolMap out;
+  for (const auto& [k, v] : e.base) {
+    SF f = e.factors.count(k) ? e.factors.at(k) : SF::None;
+    int64_t base = v;
+    if (halved && f != SF::None) base = std::max<int64_t>(4, v / 2);
+    out[k] = scaled(base, f, p);
+  }
+  return out;
+}
+
+std::vector<Entry> table2() {
+  return {
+      {"atax", {{"M", 600}, {"N", 700}}, {{"M", SF::Sqrt}, {"N", SF::Sqrt}},
+       "all sqrt(S)"},
+      {"bicg", {{"M", 700}, {"N", 600}}, {{"M", SF::Sqrt}, {"N", SF::Sqrt}},
+       "all sqrt(S)"},
+      {"doitgen", {{"NR", 16}, {"NQ", 64}, {"NP", 64}},
+       {{"NR", SF::Linear}}, "(S, -, -)"},
+      {"gemm", {{"NI", 160}, {"NJ", 184}, {"NK", 104}},
+       {{"NI", SF::Cbrt}, {"NJ", SF::Cbrt}, {"NK", SF::Cbrt}},
+       "all cbrt(S)"},
+      {"gemver", {{"N", 500}}, {{"N", SF::Sqrt}}, "sqrt(S)"},
+      {"gesummv", {{"N", 560}}, {{"N", SF::Sqrt}}, "sqrt(S)"},
+      {"jacobi_1d", {{"TSTEPS", 50}, {"N", 24000}}, {{"N", SF::Linear}},
+       "(-, S)"},
+      {"jacobi_2d", {{"TSTEPS", 20}, {"N", 200}}, {{"N", SF::Sqrt}},
+       "(-, sqrt(S))"},
+      {"k2mm", {{"NI", 128}, {"NJ", 144}, {"NK", 88}, {"NL", 96}},
+       {{"NI", SF::Cbrt}, {"NJ", SF::Cbrt}, {"NK", SF::Cbrt},
+        {"NL", SF::Cbrt}},
+       "all cbrt(S)"},
+      {"k3mm",
+       {{"NI", 128}, {"NJ", 144}, {"NK", 80}, {"NL", 88}, {"NM", 96}},
+       {{"NI", SF::Cbrt}, {"NJ", SF::Cbrt}, {"NK", SF::Cbrt},
+        {"NL", SF::Cbrt}, {"NM", SF::Cbrt}},
+       "all cbrt(S)"},
+      {"mvt", {{"N", 550}}, {{"N", SF::Sqrt}}, "sqrt(S)"},
+  };
+}
+
+}  // namespace
+
+int main() {
+  printf("=== Table 2: distributed benchmarks, initial sizes, scaling "
+         "factors ===\n");
+  printf("(reduced ~8x from the paper's Piz Daint sizes; Dask sizes "
+         "halved as in the paper)\n");
+  for (const auto& e : table2()) {
+    printf("%-10s  S.F. %-14s base:", e.kernel.c_str(), e.sf_text.c_str());
+    for (const auto& [k, v] : e.base) printf(" %s=%lld", k.c_str(),
+                                             (long long)v);
+    printf("\n");
+  }
+
+  const std::vector<int> procs = {1, 2, 4, 8, 16, 32};
+  printf("\n=== Figure 12: weak scaling, runtime [simulated] and "
+         "efficiency ===\n");
+  for (const auto& e : table2()) {
+    printf("\n--- %s ---\n", e.kernel.c_str());
+    printf("%5s | %12s %6s | %12s %6s | %12s %6s\n", "procs", "DaCe", "eff",
+           "Dask", "eff", "Legate", "eff");
+    double t1_dace = 0, t1_dask = 0, t1_leg = 0;
+    fe::Module mod = fe::parse(kernels::kernel(e.kernel).source);
+    for (int p : procs) {
+      // DaCe: real distributed execution over simMPI.
+      dist::World w(p, dist::NetModel::mpi_cray());
+      sym::SymbolMap sz = sizes_for(e, p, false);
+      double t_dace =
+          dist::run_dist_kernel(e.kernel, w, sz, dist::NodeModel(), nullptr)
+              .time_s;
+      // Dask-like: halved sizes, TCP + central scheduler.
+      sym::SymbolMap szh = sizes_for(e, p, true);
+      rt::Bindings ad = kernels::kernel(e.kernel).init(szh);
+      double t_dask = dist::run_tasking(mod.functions[0], ad, szh, p,
+                                        dist::TaskingModel::dask())
+                          .time_s;
+      // Legate-like: full sizes, GASNet, per-op index launches.
+      rt::Bindings al = kernels::kernel(e.kernel).init(sz);
+      double t_leg = dist::run_tasking(mod.functions[0], al, sz, p,
+                                       dist::TaskingModel::legate())
+                         .time_s;
+      if (p == 1) {
+        t1_dace = t_dace;
+        t1_dask = t_dask;
+        t1_leg = t_leg;
+      }
+      printf("%5d | %12s %5.1f%% | %12s %5.1f%% | %12s %5.1f%%\n", p,
+             bench::fmt_time(t_dace).c_str(), 100 * t1_dace / t_dace,
+             bench::fmt_time(t_dask).c_str(), 100 * t1_dask / t_dask,
+             bench::fmt_time(t_leg).c_str(), 100 * t1_leg / t_leg);
+      fflush(stdout);
+    }
+  }
+  printf("\npaper reference: doitgen near-perfect; matvec kernels >60%%; "
+         "matmul\nkernels lower (ScaLAPACK-like); stencils in between; "
+         "Dask and Legate\ndrop sharply from the second process, Legate "
+         "flat afterwards.\n");
+  return 0;
+}

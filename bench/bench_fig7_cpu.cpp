@@ -1,0 +1,97 @@
+// Figure 7: CPU runtime and speedup over NumPy.
+//
+// Columns (stand-ins documented in DESIGN.md):
+//   numpy   -- eager AST interpreter over native per-op loops (NumPy/CPython)
+//   -O0     -- direct SDFG translation, no coarsening (Numba/Pythran class)
+//   DaCe    -- auto-optimized SDFG, AOT-compiled via the system compiler
+//              when available (falls back to the bytecode VM)
+//   C++ref  -- hand-written reference kernels (Polybench/C + GCC class)
+// Speedups are relative to the numpy column (green/up in the paper).
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "codegen/codegen.hpp"
+#include "codegen/jit.hpp"
+#include "frontend/lowering.hpp"
+#include "frontend/parser.hpp"
+#include "kernels/suite.hpp"
+#include "runtime/eager_interpreter.hpp"
+#include "runtime/executor.hpp"
+#include "transforms/auto_optimize.hpp"
+
+using namespace dace;
+
+int main() {
+  printf("=== Figure 7: CPU runtime and speedup over NumPy ===\n");
+  printf("%-12s %12s %9s %9s %9s\n", "kernel", "numpy", "-O0", "DaCe",
+         "C++ref");
+  std::vector<double> sp_o0, sp_dace, sp_ref;
+  int reps = 3;
+  for (const auto& k : kernels::suite()) {
+    const sym::SymbolMap& sizes = k.presets.at("paper");
+
+    fe::Module mod = fe::parse(k.source);
+    rt::EagerInterpreter eager(mod.functions[0]);
+    auto t_numpy = bench::time_median(
+        [&] {
+          rt::Bindings b = k.init(sizes);
+          eager.run(b, sizes);
+        },
+        reps);
+
+    auto o0 = fe::compile_to_sdfg(k.source);
+    rt::Executor ex0(*o0);
+    auto t_o0 = bench::time_median(
+        [&] {
+          rt::Bindings b = k.init(sizes);
+          ex0.run(b, sizes);
+        },
+        reps);
+
+    auto opt = fe::compile_to_sdfg(k.source);
+    xf::auto_optimize(*opt, ir::DeviceType::CPU);
+    cg::CompiledProgram prog = cg::compile(*opt);
+    rt::Executor exo(*opt);
+    auto t_dace = bench::time_median(
+        [&] {
+          rt::Bindings b = k.init(sizes);
+          if (prog.valid()) {
+            std::vector<double*> args;
+            for (const auto& an : opt->arg_names())
+              args.push_back(b.at(an).data());
+            std::vector<long long> syms;
+            for (const auto& s : cg::symbol_order(*opt))
+              syms.push_back(sizes.at(s));
+            prog.fn()(args.data(), syms.data());
+          } else {
+            exo.run(b, sizes);
+          }
+        },
+        reps);
+
+    auto t_ref = bench::time_median(
+        [&] {
+          rt::Bindings b = k.init(sizes);
+          k.reference(b, sizes);
+        },
+        reps);
+
+    double s0 = t_numpy.median_s / t_o0.median_s;
+    double sd = t_numpy.median_s / t_dace.median_s;
+    double sr = t_numpy.median_s / t_ref.median_s;
+    sp_o0.push_back(s0);
+    sp_dace.push_back(sd);
+    sp_ref.push_back(sr);
+    printf("%-12s %12s %8.2fx %8.2fx %8.2fx%s\n", k.name.c_str(),
+           bench::fmt_time(t_numpy.median_s).c_str(), s0, sd, sr,
+           prog.valid() ? "" : "  (VM fallback)");
+    fflush(stdout);
+  }
+  printf("%-12s %12s %8.2fx %8.2fx %8.2fx\n", "geomean", "-",
+         bench::geomean(sp_o0), bench::geomean(sp_dace),
+         bench::geomean(sp_ref));
+  printf("\npaper reference: DaCe geomean speedup over best prior "
+         "framework 2.47x;\nstencils gain most from subgraph fusion; "
+         "C compilers win short/control-heavy kernels.\n");
+  return 0;
+}

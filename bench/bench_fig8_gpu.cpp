@@ -1,0 +1,49 @@
+// Figure 8: CuPy and DaCe GPU runtime on the simulated V100
+// (lower is better). Both columns execute real values; the device model
+// charges launches, HBM roofline time, atomics and transfers.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "frontend/lowering.hpp"
+#include "frontend/parser.hpp"
+#include "gpu/cupy_like.hpp"
+#include "gpu/gpu_executor.hpp"
+#include "kernels/suite.hpp"
+#include "transforms/auto_optimize.hpp"
+
+using namespace dace;
+
+int main() {
+  printf("=== Figure 8: GPU runtime, CuPy vs DaCe (simulated V100) ===\n");
+  printf("%-12s %12s %12s %10s %9s %9s\n", "kernel", "CuPy", "DaCe",
+         "speedup", "launches", "launches");
+  std::vector<double> speedups;
+  for (const auto& k : kernels::suite()) {
+    if (!k.gpu) continue;
+    const sym::SymbolMap& sizes = k.presets.at("paper");
+
+    fe::Module mod = fe::parse(k.source);
+    rt::Bindings b1 = k.init(sizes);
+    gpu::GpuRunResult cupy = gpu::run_cupy(mod.functions[0], b1, sizes);
+
+    auto sdfg = fe::compile_to_sdfg(k.source);
+    xf::auto_optimize(*sdfg, ir::DeviceType::GPU);
+    rt::Bindings b2 = k.init(sizes);
+    gpu::GpuRunResult dace_res = gpu::run_gpu(*sdfg, b2, sizes);
+
+    double sp = cupy.kernel_time_s / dace_res.kernel_time_s;
+    speedups.push_back(sp);
+    printf("%-12s %12s %12s %9.2fx %9lld %9lld%s\n", k.name.c_str(),
+           bench::fmt_time(cupy.kernel_time_s).c_str(),
+           bench::fmt_time(dace_res.kernel_time_s).c_str(), sp,
+           (long long)cupy.kernels, (long long)dace_res.kernels,
+           sp < 1.0 ? "  <- CuPy wins (WCR atomics)" : "");
+    fflush(stdout);
+  }
+  printf("%-12s %12s %12s %9.2fx\n", "geomean", "-", "-",
+         bench::geomean(speedups));
+  printf("\npaper reference: DaCe 3.75x (geomean) over CuPy; stencils gain "
+         "most\n(fusion removes intermediate global-memory round trips); "
+         "resnet is the\nexception where CuPy wins due to WCR atomics.\n");
+  return 0;
+}

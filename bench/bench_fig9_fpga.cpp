@@ -1,0 +1,43 @@
+// Figure 9: FPGA runtime on the simulated Intel Stratix 10 and Xilinx
+// Alveo U250 shells, single precision (Section 3.4). No other framework
+// compiles annotated Python to FPGAs, so there is no comparison column.
+#include <cstdio>
+
+#include "bench_common.hpp"
+#include "fpga/fpga_executor.hpp"
+#include "frontend/lowering.hpp"
+#include "kernels/suite.hpp"
+#include "transforms/auto_optimize.hpp"
+
+using namespace dace;
+
+int main() {
+  printf("=== Figure 9: FPGA runtime (simulated shells, single precision) "
+         "===\n");
+  printf("%-12s %14s %14s %8s\n", "kernel", "Intel S10", "Xilinx U250",
+         "ratio");
+  for (const auto& k : kernels::suite()) {
+    if (!k.fpga) continue;
+    const sym::SymbolMap& sizes = k.presets.at("fpga");
+    auto sdfg = fe::compile_to_sdfg(k.source);
+    xf::auto_optimize(*sdfg, ir::DeviceType::FPGA);
+
+    rt::Bindings b1 = k.init(sizes);
+    double t_intel =
+        fpga::run_fpga(*sdfg, b1, sizes, fpga::FpgaModel::intel()).time_s;
+    rt::Bindings b2 = k.init(sizes);
+    double t_xilinx =
+        fpga::run_fpga(*sdfg, b2, sizes, fpga::FpgaModel::xilinx()).time_s;
+    printf("%-12s %14s %14s %7.2fx%s\n", k.name.c_str(),
+           bench::fmt_time(t_intel).c_str(),
+           bench::fmt_time(t_xilinx).c_str(), t_xilinx / t_intel,
+           t_xilinx / t_intel > 1.5 ? "  <- Intel advantage (stencil/reuse + clock)" : "");
+    fflush(stdout);
+  }
+  printf("\npaper reference: both vendors synthesize from the same "
+         "annotated\nPython; Intel wins stencil-like kernels (superior "
+         "stencil pattern\ndetection / shift registers) and has hardened "
+         "float32 accumulation,\nwhile Xilinx needs accumulation "
+         "interleaving.\n");
+  return 0;
+}

@@ -1,0 +1,74 @@
+// google-benchmark microbenchmarks of the substrate hot paths: the
+// bytecode VM, eager tensor ops, symbolic engine, and simMPI primitives.
+#include <benchmark/benchmark.h>
+
+#include "distributed/simmpi.hpp"
+#include "frontend/lowering.hpp"
+#include "kernels/suite.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/tensor_ops.hpp"
+#include "transforms/auto_optimize.hpp"
+
+using namespace dace;
+
+static void BM_TensorAdd(benchmark::State& state) {
+  rt::Tensor a(ir::DType::f64, {state.range(0)});
+  rt::Tensor b(ir::DType::f64, {state.range(0)});
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rt::ops::add(a, b));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_TensorAdd)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+static void BM_VmFusedAxpy(benchmark::State& state) {
+  auto sdfg = fe::compile_to_sdfg(R"(
+@dace.program
+def axpy(alpha: dace.float64, x: dace.float64[N], y: dace.float64[N]):
+    y[:] = alpha * x + y
+)");
+  xf::auto_optimize(*sdfg, ir::DeviceType::CPU);
+  rt::Executor ex(*sdfg);
+  int64_t n = state.range(0);
+  rt::Bindings args{{"alpha", rt::Tensor::scalar(2.0)},
+                    {"x", rt::Tensor(ir::DType::f64, {n})},
+                    {"y", rt::Tensor(ir::DType::f64, {n})}};
+  for (auto _ : state) {
+    ex.run(args, {{"N", n}});
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+BENCHMARK(BM_VmFusedAxpy)->Arg(1024)->Arg(65536)->Arg(1 << 20);
+
+static void BM_SymbolicSimplify(benchmark::State& state) {
+  sym::Expr n = sym::S("N"), m = sym::S("M");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize((n + m) * (n - m) + m * m - n * n);
+  }
+}
+BENCHMARK(BM_SymbolicSimplify);
+
+static void BM_ParseAndLowerGemm(benchmark::State& state) {
+  const auto& k = kernels::kernel("gemm");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fe::compile_to_sdfg(k.source));
+  }
+}
+BENCHMARK(BM_ParseAndLowerGemm);
+
+static void BM_SimMpiP2P(benchmark::State& state) {
+  for (auto _ : state) {
+    dist::World w(2);
+    w.run([](dist::Comm& c) {
+      double buf[64] = {0};
+      if (c.rank() == 0) {
+        c.send(buf, 64, 1, 0);
+      } else {
+        c.recv(buf, 64, 0, 0);
+      }
+    });
+  }
+}
+BENCHMARK(BM_SimMpiP2P);
+
+BENCHMARK_MAIN();

@@ -1,0 +1,95 @@
+// The explicit local-view program of Section 4.3: a distributed Jacobi-2D
+// stencil with per-timestep halo exchanges written in DaCeLang using
+// dace.comm.{Isend, Irecv, Waitall, BlockScatter, BlockGather}, run over
+// a simulated MPI world and validated against the shared-memory kernel.
+#include <cstdio>
+
+#include "distributed/dist_executor.hpp"
+#include "distributed/process_grid.hpp"
+#include "frontend/lowering.hpp"
+#include "kernels/suite.hpp"
+#include "runtime/tensor_ops.hpp"
+
+static const char* kSource = R"(
+@dace.program
+def half_step(inpbuf: dace.float64[lNx + 2, lNy + 2],
+              outbuf: dace.float64[lNx + 2, lNy + 2]):
+    req = np.empty((8,), dtype=MPI_Request)
+    dace.comm.Isend(inpbuf[1, 1:-1], nn, 0, req[0])
+    dace.comm.Isend(inpbuf[lNx, 1:-1], ns, 1, req[1])
+    dace.comm.Isend(inpbuf[1:-1, 1], nw, 2, req[2])
+    dace.comm.Isend(inpbuf[1:-1, lNy], ne, 3, req[3])
+    dace.comm.Irecv(inpbuf[0, 1:-1], nn, 1, req[4])
+    dace.comm.Irecv(inpbuf[lNx + 1, 1:-1], ns, 0, req[5])
+    dace.comm.Irecv(inpbuf[1:-1, 0], nw, 3, req[6])
+    dace.comm.Irecv(inpbuf[1:-1, lNy + 1], ne, 2, req[7])
+    dace.comm.Waitall(req)
+    outbuf[1+noff:lNx+1-soff, 1+woff:lNy+1-eoff] = 0.2 * (
+        inpbuf[1+noff:lNx+1-soff, 1+woff:lNy+1-eoff] +
+        inpbuf[noff:lNx-soff, 1+woff:lNy+1-eoff] +
+        inpbuf[2+noff:lNx+2-soff, 1+woff:lNy+1-eoff] +
+        inpbuf[1+noff:lNx+1-soff, woff:lNy-eoff] +
+        inpbuf[1+noff:lNx+1-soff, 2+woff:lNy+2-eoff])
+
+@dace.program
+def j2d_dist(TSTEPS: dace.int32, A: dace.float64[N, N],
+             B: dace.float64[N, N]):
+    lA = np.zeros((lNx + 2, lNy + 2), dtype=A.dtype)
+    lB = np.zeros((lNx + 2, lNy + 2), dtype=B.dtype)
+    lA[1:-1, 1:-1] = dace.comm.BlockScatter(A)
+    lB[1:-1, 1:-1] = dace.comm.BlockScatter(B)
+    for t in range(1, TSTEPS):
+        half_step(lA, lB)
+        half_step(lB, lA)
+    A[:] = dace.comm.BlockGather(lA[1:-1, 1:-1])
+    B[:] = dace.comm.BlockGather(lB[1:-1, 1:-1])
+)";
+
+int main(int argc, char** argv) {
+  using namespace dace;
+  const int P = argc > 1 ? std::atoi(argv[1]) : 4;
+  const int64_t n = 64, tsteps = 10;
+
+  auto sdfg = fe::compile_to_sdfg(kSource, "j2d_dist");
+  printf("lowered explicit local-view SDFG: %d states\n",
+         sdfg->num_states());
+
+  rt::Bindings shared;
+  shared.emplace("A", rt::Tensor(ir::DType::f64, {n, n}));
+  shared.emplace("B", rt::Tensor(ir::DType::f64, {n, n}));
+  kernels::fill_pattern(shared.at("A"), 1);
+  kernels::fill_pattern(shared.at("B"), 2);
+  rt::Bindings ref;
+  ref.emplace("A", shared.at("A").copy());
+  ref.emplace("B", shared.at("B").copy());
+  kernels::kernel("jacobi_2d").reference(ref, {{"N", n}, {"TSTEPS", tsteps}});
+
+  dist::World world(P, dist::NetModel::mpi_cray());
+  dist::Grid2D grid = dist::Grid2D::square(P);
+  printf("running on %d simulated ranks (%dx%d grid)\n", P, grid.Pr, grid.Pc);
+  auto res = dist::run_distributed_sdfg(
+      world, *sdfg, shared, [&](int rank, int) {
+        int px = grid.row_of(rank), py = grid.col_of(rank);
+        sym::SymbolMap s{{"N", n},
+                         {"TSTEPS", tsteps},
+                         {"lNx", n / grid.Pr},
+                         {"lNy", n / grid.Pc}};
+        s["nn"] = px > 0 ? grid.rank_of(px - 1, py) : -1;
+        s["ns"] = px + 1 < grid.Pr ? grid.rank_of(px + 1, py) : -1;
+        s["nw"] = py > 0 ? grid.rank_of(px, py - 1) : -1;
+        s["ne"] = py + 1 < grid.Pc ? grid.rank_of(px, py + 1) : -1;
+        s["noff"] = px == 0 ? 1 : 0;
+        s["soff"] = px + 1 == grid.Pr ? 1 : 0;
+        s["woff"] = py == 0 ? 1 : 0;
+        s["eoff"] = py + 1 == grid.Pc ? 1 : 0;
+        return s;
+      });
+
+  double err = rt::max_abs_diff(shared.at("A"), ref.at("A"));
+  printf("halo-exchange messages: %lld, bytes: %lld\n",
+         (long long)res.messages, (long long)res.bytes);
+  printf("simulated cluster time: %.3f ms\n", res.time_s * 1e3);
+  printf("max |distributed - shared-memory| = %.3e  %s\n", err,
+         err < 1e-12 ? "[OK]" : "[MISMATCH]");
+  return err < 1e-12 ? 0 : 1;
+}

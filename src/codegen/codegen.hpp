@@ -1,0 +1,32 @@
+// Ahead-of-time code generation (Section 3.3).
+//
+// Lowers an optimized SDFG to backend source code: standalone C++ with
+// OpenMP worksharing pragmas for the CPU (compilable with any C++17
+// compiler -- the generated-code test builds it with the system
+// compiler), CUDA-flavored source for the GPU backend, and HLS-flavored
+// (Vitis-style pragma) source for the FPGA backend.  The entry point is
+//
+//   extern "C" void <name>(double** args, long long* syms);
+//
+// with `args` ordered like SDFG::arg_names() and `syms` ordered by the
+// sorted free-symbol names.  Transients are allocated inside (persistent
+// ones as function-local statics, Section 3.1 pass 4).
+#pragma once
+
+#include <string>
+
+#include "ir/sdfg.hpp"
+
+namespace dace::cg {
+
+enum class Flavor { CPU, CUDA, HLS };
+
+/// Generate backend source for the SDFG. Throws on constructs the
+/// backend cannot express (streams, comm::* nodes).
+std::string generate(const ir::SDFG& sdfg, Flavor flavor = Flavor::CPU);
+
+/// Ordered symbol names matching the `syms` argument of the generated
+/// entry point.
+std::vector<std::string> symbol_order(const ir::SDFG& sdfg);
+
+}  // namespace dace::cg

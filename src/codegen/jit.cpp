@@ -1,0 +1,63 @@
+#include "codegen/jit.hpp"
+
+#include <dlfcn.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+
+#include "codegen/codegen.hpp"
+
+namespace dace::cg {
+
+CompiledProgram::~CompiledProgram() {
+  if (handle_) dlclose(handle_);
+}
+
+CompiledProgram::CompiledProgram(CompiledProgram&& o) noexcept
+    : handle_(o.handle_), fn_(o.fn_), compile_seconds_(o.compile_seconds_) {
+  o.handle_ = nullptr;
+  o.fn_ = nullptr;
+}
+
+CompiledProgram& CompiledProgram::operator=(CompiledProgram&& o) noexcept {
+  if (this != &o) {
+    if (handle_) dlclose(handle_);
+    handle_ = o.handle_;
+    fn_ = o.fn_;
+    compile_seconds_ = o.compile_seconds_;
+    o.handle_ = nullptr;
+    o.fn_ = nullptr;
+  }
+  return *this;
+}
+
+CompiledProgram compile(const ir::SDFG& sdfg, const std::string& compiler) {
+  CompiledProgram out;
+  std::string src = generate(sdfg, Flavor::CPU);
+  char dir[] = "/tmp/daceppXXXXXX";
+  if (!mkdtemp(dir)) return out;
+  std::string base = std::string(dir) + "/" + sdfg.name();
+  std::string cpp = base + ".cpp";
+  std::string so = base + ".so";
+  {
+    std::ofstream f(cpp);
+    f << src;
+  }
+  std::string cmd = compiler + " -O2 -fPIC -shared -std=c++17 -o " + so +
+                    " " + cpp + " 2>" + base + ".log";
+  auto t0 = std::chrono::steady_clock::now();
+  int rc = std::system(cmd.c_str());
+  auto t1 = std::chrono::steady_clock::now();
+  out.compile_seconds_ = std::chrono::duration<double>(t1 - t0).count();
+  if (rc != 0) return out;
+  out.handle_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!out.handle_) return out;
+  out.fn_ = reinterpret_cast<CompiledFn>(dlsym(out.handle_,
+                                               sdfg.name().c_str()));
+  return out;
+}
+
+}  // namespace dace::cg

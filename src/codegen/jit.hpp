@@ -1,0 +1,45 @@
+// JIT-through-the-system-compiler (the AOT pipeline of Section 3.3,
+// exercised at runtime): write generated C++ to a temporary file, build a
+// shared object with the host compiler, dlopen it, and return the entry
+// point.  Used by the aot_codegen example, the generated-code tests and
+// the Fig. 6 compile-time benchmark; callers must handle absence of a
+// compiler (compile() returns an empty handle).
+#pragma once
+
+#include <string>
+
+#include "ir/sdfg.hpp"
+
+namespace dace::cg {
+
+/// Entry point signature of generated programs.
+using CompiledFn = void (*)(double** args, long long* syms);
+
+class CompiledProgram {
+ public:
+  CompiledProgram() = default;
+  ~CompiledProgram();
+  CompiledProgram(CompiledProgram&& o) noexcept;
+  CompiledProgram& operator=(CompiledProgram&& o) noexcept;
+  CompiledProgram(const CompiledProgram&) = delete;
+  CompiledProgram& operator=(const CompiledProgram&) = delete;
+
+  bool valid() const { return fn_ != nullptr; }
+  CompiledFn fn() const { return fn_; }
+  /// Wall-clock seconds the host compiler took.
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  friend CompiledProgram compile(const ir::SDFG&, const std::string&);
+  void* handle_ = nullptr;
+  CompiledFn fn_ = nullptr;
+  double compile_seconds_ = 0;
+};
+
+/// Generate CPU code for `sdfg`, compile it with `compiler` (default:
+/// c++), and load the entry point. Returns an invalid handle when no
+/// compiler is available.
+CompiledProgram compile(const ir::SDFG& sdfg,
+                        const std::string& compiler = "c++");
+
+}  // namespace dace::cg

@@ -1,0 +1,34 @@
+// Common utilities shared across all DaCe++ modules.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace dace {
+
+/// Error type for all user-facing failures (parse errors, validation
+/// errors, execution errors). Carries a plain message.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+/// Build an Error from streamable parts: throw err("bad value ", x).
+template <typename... Args>
+Error err(Args&&... args) {
+  std::ostringstream os;
+  (os << ... << args);
+  return Error(os.str());
+}
+
+#define DACE_CHECK(cond, ...)        \
+  do {                               \
+    if (!(cond)) throw ::dace::err(__VA_ARGS__); \
+  } while (0)
+
+using std::int64_t;
+
+}  // namespace dace

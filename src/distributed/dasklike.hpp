@@ -1,0 +1,56 @@
+// Distributed-tasking baselines (the Fig. 12 comparison points).
+//
+// Both Dask and Legate execute NumPy programs *eagerly, one array
+// operation at a time*, partitioning each operation into per-chunk tasks
+// over the workers.  This module models that execution: the eager
+// interpreter computes real values while an observer charges, per
+// operation, (a) task scheduling/launch overheads, (b) chunked local
+// compute on the worker node model, and (c) the inter-worker
+// communication the operation's data access pattern requires.
+//
+// The two framework profiles differ exactly where the paper attributes
+// their behavior: Dask has a *centralized scheduler* that dispatches one
+// task at a time over TCP (efficiency cliff from the second process;
+// eventually out-of-memory at scale -- Table 2 halves its problem
+// sizes), whereas Legate (Legion/GASNet) launches per-operation index
+// tasks with lower latency and no serial scheduler, giving a flat
+// efficiency curve after the initial drop.
+#pragma once
+
+#include "distributed/simmpi.hpp"
+#include "frontend/ast.hpp"
+#include "runtime/eager_interpreter.hpp"
+
+namespace dace::dist {
+
+struct TaskingModel {
+  std::string name;
+  NetModel net;
+  NodeModel node;
+  double scheduler_task_s;   // serialized central-scheduler cost per task
+  double worker_launch_s;    // per-task launch overhead on a worker
+  double per_op_runtime_s;   // per-operation runtime/bookkeeping overhead
+
+  static TaskingModel dask() {
+    return TaskingModel{"dask", NetModel::tcp(), NodeModel(),
+                        200e-6, 50e-6, 500e-6};
+  }
+  static TaskingModel legate() {
+    return TaskingModel{"legate", NetModel::gasnet(), NodeModel(),
+                        0.0, 15e-6, 100e-6};
+  }
+};
+
+struct TaskingResult {
+  double time_s = 0;
+  int64_t tasks = 0;
+  int64_t ops = 0;
+};
+
+/// Execute the DaCeLang function eagerly with the tasking cost model over
+/// `workers` workers. Results are computed for real into `args`.
+TaskingResult run_tasking(const fe::Function& f, rt::Bindings& args,
+                          const sym::SymbolMap& symbols, int workers,
+                          const TaskingModel& model);
+
+}  // namespace dace::dist

@@ -1,0 +1,508 @@
+#include "distributed/dist_kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "distributed/pblas.hpp"
+#include "distributed/process_grid.hpp"
+#include "runtime/tensor_ops.hpp"
+
+namespace dace::dist {
+
+namespace {
+
+using rt::Bindings;
+using rt::Tensor;
+using Sym = sym::SymbolMap;
+
+int64_t S(const Sym& s, const std::string& k) { return s.at(k); }
+
+/// Replicate a global vector on this rank (charging the broadcast).
+Tensor replicated(Comm& comm, const Tensor& global) {
+  Tensor local = global.copy();
+  comm.bcast(local.data(), local.size(), 0);
+  return local;
+}
+
+/// Padded row-block of C for the ring pgemm: (mb, nb*p).
+Tensor padded_c_rows(Comm& comm, const Tensor& c_global, int64_t mb,
+                     int64_t nb) {
+  int p = comm.size();
+  Tensor out(c_global.dtype(), {mb, nb * p});
+  int64_t m = c_global.shape()[0], n = c_global.shape()[1];
+  for (int64_t i = 0; i < mb; ++i) {
+    int64_t gi = comm.rank() * mb + i;
+    if (gi >= m) break;
+    for (int64_t j = 0; j < n; ++j) out.at({i, j}) = c_global.at({gi, j});
+  }
+  return out;
+}
+
+void store_c_rows(Comm& comm, const Tensor& c_rows, Tensor& c_global) {
+  int64_t m = c_global.shape()[0], n = c_global.shape()[1];
+  int64_t mb = c_rows.shape()[0];
+  for (int64_t i = 0; i < mb; ++i) {
+    int64_t gi = comm.rank() * mb + i;
+    if (gi >= m) break;
+    for (int64_t j = 0; j < n; ++j) c_global.at({gi, j}) = c_rows.at({i, j});
+  }
+}
+
+/// Padded column block (k x nb) of a global (k x n) matrix.
+Tensor col_block(Comm& comm, const Tensor& global, int64_t nb) {
+  int64_t k = global.shape()[0], n = global.shape()[1];
+  Tensor out(global.dtype(), {k, nb});
+  for (int64_t i = 0; i < k; ++i) {
+    for (int64_t j = 0; j < nb; ++j) {
+      int64_t gj = comm.rank() * nb + j;
+      if (gj < n) out.at({i, j}) = global.at({i, gj});
+    }
+  }
+  return out;
+}
+
+/// Gather-style charge for distributing blocks at kernel start. The
+/// paper excludes initial distribution time from measurements, so this
+/// only synchronizes clocks.
+void initial_distribution(Comm& comm) { comm.barrier(); }
+
+// ---------------------------------------------------------------------------
+// GEMM family
+// ---------------------------------------------------------------------------
+
+void dist_gemm(Comm& comm, const NodeModel& node, const Sym& sizes,
+               Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int64_t ni = S(sizes, "NI"), nj = S(sizes, "NJ");
+  double alpha = g.at("alpha").value(), beta = g.at("beta").value();
+  int64_t mb = block_size(ni, p), nb = block_size(nj, p);
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());
+  Tensor b_col = col_block(comm, g.at("B"), nb);
+  Tensor c_rows = padded_c_rows(comm, g.at("C"), mb, nb);
+  initial_distribution(comm);
+  // C = alpha*A@B + beta*C  ->  scale C by beta, A by alpha, accumulate.
+  for (int64_t i = 0; i < c_rows.size(); ++i)
+    c_rows.set_flat(i, beta * c_rows.get_flat(i));
+  for (int64_t i = 0; i < a_rows.size(); ++i)
+    a_rows.set_flat(i, alpha * a_rows.get_flat(i));
+  comm.add_time(node.compute_time(
+      (uint64_t)(c_rows.size() + a_rows.size()),
+      (uint64_t)(8 * (c_rows.size() + a_rows.size()))));
+  Grid2D grid = Grid2D::square(p);
+  pgemm(comm, grid, node, a_rows, b_col, c_rows);
+  if (out) store_c_rows(comm, c_rows, out->at("C"));
+}
+
+void dist_k2mm(Comm& comm, const NodeModel& node, const Sym& sizes,
+               Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int64_t ni = S(sizes, "NI"), nj = S(sizes, "NJ"), nl = S(sizes, "NL");
+  double alpha = g.at("alpha").value(), beta = g.at("beta").value();
+  Grid2D grid = Grid2D::square(p);
+  int64_t mb = block_size(ni, p), njb = block_size(nj, p),
+          nlb = block_size(nl, p);
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());
+  Tensor b_col = col_block(comm, g.at("B"), njb);
+  initial_distribution(comm);
+  for (int64_t i = 0; i < a_rows.size(); ++i)
+    a_rows.set_flat(i, alpha * a_rows.get_flat(i));
+  Tensor tmp_rows(ir::DType::f64, {mb, njb * p});
+  pgemm(comm, grid, node, a_rows, b_col, tmp_rows);
+  // Second product: tmp (rows) x C (cols), trimming tmp to NJ columns.
+  Tensor tmp_trim = tmp_rows.slice({0, 0}, {mb, nj}, {1, 1}).copy();
+  Tensor c_col = col_block(comm, g.at("C"), nlb);
+  Tensor d_rows = padded_c_rows(comm, g.at("D"), mb, nlb);
+  for (int64_t i = 0; i < d_rows.size(); ++i)
+    d_rows.set_flat(i, beta * d_rows.get_flat(i));
+  pgemm(comm, grid, node, tmp_trim, c_col, d_rows);
+  if (out) store_c_rows(comm, d_rows, out->at("D"));
+}
+
+/// Redistribute a row-block (mb x n) into a column block (m x nb): the
+/// p?gemr2d analogue (all-to-all of sub-blocks).
+Tensor rows_to_cols(Comm& comm, const Tensor& rows, int64_t m, int64_t n,
+                    int tag_base) {
+  int p = comm.size();
+  int rank = comm.rank();
+  int64_t mb = rows.shape()[0], nb = block_size(n, p);
+  Tensor cols(rows.dtype(), {m, nb});
+  // Send stripe j of my rows to rank j; receive stripes from everyone.
+  for (int j = 0; j < p; ++j) {
+    if (j == rank) continue;
+    std::vector<double> buf;
+    buf.reserve((size_t)(mb * nb));
+    for (int64_t i = 0; i < mb; ++i) {
+      for (int64_t c = 0; c < nb; ++c) {
+        int64_t gc = j * nb + c;
+        buf.push_back(gc < (int64_t)rows.shape()[1] ? rows.at({i, gc}) : 0.0);
+      }
+    }
+    comm.send(buf.data(), (int64_t)buf.size(), j, tag_base + rank);
+  }
+  // Own stripe.
+  for (int64_t i = 0; i < mb; ++i) {
+    int64_t gi = rank * mb + i;
+    if (gi >= m) break;
+    for (int64_t c = 0; c < nb; ++c) {
+      int64_t gc = rank * nb + c;
+      cols.at({gi, c}) =
+          gc < (int64_t)rows.shape()[1] ? rows.at({i, gc}) : 0.0;
+    }
+  }
+  std::vector<double> rbuf((size_t)(mb * nb));
+  for (int j = 0; j < p; ++j) {
+    if (j == rank) continue;
+    comm.recv(rbuf.data(), (int64_t)rbuf.size(), j, tag_base + j);
+    for (int64_t i = 0; i < mb; ++i) {
+      int64_t gi = j * mb + i;
+      if (gi >= m) break;
+      for (int64_t c = 0; c < nb; ++c)
+        cols.at({gi, c}) = rbuf[(size_t)(i * nb + c)];
+    }
+  }
+  return cols;
+}
+
+void dist_k3mm(Comm& comm, const NodeModel& node, const Sym& sizes,
+               Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int64_t ni = S(sizes, "NI"), nj = S(sizes, "NJ"), nl = S(sizes, "NL");
+  Grid2D grid = Grid2D::square(p);
+  int64_t mb_i = block_size(ni, p), nb_j = block_size(nj, p),
+          mb_j = block_size(nj, p), nb_l = block_size(nl, p);
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());
+  Tensor b_col = col_block(comm, g.at("B"), nb_j);
+  Tensor c_rows = local_rows(g.at("C"), p, comm.rank());
+  Tensor d_col = col_block(comm, g.at("D"), nb_l);
+  initial_distribution(comm);
+  // E = A @ B (rows of NI).
+  Tensor e_rows(ir::DType::f64, {mb_i, nb_j * p});
+  pgemm(comm, grid, node, a_rows, b_col, e_rows);
+  Tensor e_trim = e_rows.slice({0, 0}, {mb_i, nj}, {1, 1}).copy();
+  // F = C @ D (rows of NJ).
+  Tensor f_rows(ir::DType::f64, {mb_j, nb_l * p});
+  pgemm(comm, grid, node, c_rows, d_col, f_rows);
+  Tensor f_trim = f_rows.slice({0, 0}, {mb_j, nl}, {1, 1}).copy();
+  // Redistribute F to column blocks (p?gemr2d) for G = E @ F.
+  Tensor f_col = rows_to_cols(comm, f_trim, nj, nl, 700);
+  Tensor g_rows(ir::DType::f64, {mb_i, nb_l * p});
+  pgemm(comm, grid, node, e_trim, f_col, g_rows);
+  if (out) store_c_rows(comm, g_rows, out->at("G"));
+}
+
+// ---------------------------------------------------------------------------
+// Matrix-vector family (1-D row distribution + allreduce)
+// ---------------------------------------------------------------------------
+
+void dist_atax(Comm& comm, const NodeModel& node, const Sym& sizes,
+               Bindings& g, Bindings* out) {
+  int p = comm.size();
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());
+  Tensor x = replicated(comm, g.at("x"));
+  initial_distribution(comm);
+  Tensor tmp = pgemv_rows(comm, node, a_rows, x);
+  Tensor y = pgemv_trans_allreduce(comm, node, a_rows, tmp,
+                                   S(sizes, "N"));
+  if (out && comm.rank() == 0) out->at("y").assign_from(y);
+}
+
+void dist_bicg(Comm& comm, const NodeModel& node, const Sym& sizes,
+               Bindings& g, Bindings* out) {
+  int p = comm.size();
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());  // (N x M) rows
+  Tensor pv = replicated(comm, g.at("p"));
+  Tensor r_rows = local_rows(g.at("r"), p, comm.rank());
+  initial_distribution(comm);
+  Tensor q_rows = pgemv_rows(comm, node, a_rows, pv);
+  Tensor s = pgemv_trans_allreduce(comm, node, a_rows, r_rows,
+                                   S(sizes, "M"));
+  if (out) {
+    store_rows(q_rows, out->at("q"), p, comm.rank());
+    if (comm.rank() == 0) out->at("s").assign_from(s);
+  }
+}
+
+void dist_mvt(Comm& comm, const NodeModel& node, const Sym& sizes,
+              Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int64_t n = S(sizes, "N");
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());
+  Tensor y1 = replicated(comm, g.at("y1"));
+  Tensor y2_rows = local_rows(g.at("y2"), p, comm.rank());
+  Tensor x1_rows = local_rows(g.at("x1"), p, comm.rank());
+  initial_distribution(comm);
+  Tensor ay1 = pgemv_rows(comm, node, a_rows, y1);
+  for (int64_t i = 0; i < x1_rows.size(); ++i)
+    x1_rows.set_flat(i, x1_rows.get_flat(i) + ay1.get_flat(i));
+  Tensor aty2 = pgemv_trans_allreduce(comm, node, a_rows, y2_rows, n);
+  if (out) {
+    store_rows(x1_rows, out->at("x1"), p, comm.rank());
+    if (comm.rank() == 0) {
+      Tensor x2 = rt::ops::add(g.at("x2"), aty2);
+      out->at("x2").assign_from(x2);
+    }
+  }
+}
+
+void dist_gemver(Comm& comm, const NodeModel& node, const Sym& sizes,
+                 Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int64_t n = S(sizes, "N");
+  double alpha = g.at("alpha").value(), beta = g.at("beta").value();
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());
+  Tensor u1_rows = local_rows(g.at("u1"), p, comm.rank());
+  Tensor u2_rows = local_rows(g.at("u2"), p, comm.rank());
+  Tensor v1 = replicated(comm, g.at("v1"));
+  Tensor v2 = replicated(comm, g.at("v2"));
+  Tensor y_rows = local_rows(g.at("y"), p, comm.rank());
+  Tensor z = replicated(comm, g.at("z"));
+  Tensor w_rows = local_rows(g.at("w"), p, comm.rank());
+  initial_distribution(comm);
+  // A += u1 v1^T + u2 v2^T (element-wise on local rows).
+  int64_t mb = a_rows.shape()[0];
+  for (int64_t i = 0; i < mb; ++i) {
+    double u1v = u1_rows.get_flat(i), u2v = u2_rows.get_flat(i);
+    for (int64_t j = 0; j < n; ++j) {
+      a_rows.at({i, j}) += u1v * v1.get_flat(j) + u2v * v2.get_flat(j);
+    }
+  }
+  comm.add_time(
+      node.compute_time((uint64_t)(2 * a_rows.size()),
+                        (uint64_t)(8 * a_rows.size())));
+  // x = x + beta * A^T y + z.
+  Tensor aty = pgemv_trans_allreduce(comm, node, a_rows, y_rows, n);
+  Tensor x = replicated(comm, g.at("x"));
+  for (int64_t i = 0; i < n; ++i)
+    x.set_flat(i, x.get_flat(i) + beta * aty.get_flat(i) + z.get_flat(i));
+  comm.add_time(node.compute_time((uint64_t)(2 * n), (uint64_t)(24 * n)));
+  // w = w + alpha * A x.
+  Tensor ax = pgemv_rows(comm, node, a_rows, x);
+  for (int64_t i = 0; i < w_rows.size(); ++i)
+    w_rows.set_flat(i, w_rows.get_flat(i) + alpha * ax.get_flat(i));
+  if (out) {
+    store_rows(a_rows, out->at("A"), p, comm.rank());
+    store_rows(w_rows, out->at("w"), p, comm.rank());
+    if (comm.rank() == 0) out->at("x").assign_from(x);
+  }
+}
+
+void dist_gesummv(Comm& comm, const NodeModel& node, const Sym& sizes,
+                  Bindings& g, Bindings* out) {
+  (void)sizes;
+  int p = comm.size();
+  double alpha = g.at("alpha").value(), beta = g.at("beta").value();
+  Tensor a_rows = local_rows(g.at("A"), p, comm.rank());
+  Tensor b_rows = local_rows(g.at("B"), p, comm.rank());
+  Tensor x = replicated(comm, g.at("x"));
+  initial_distribution(comm);
+  Tensor ax = pgemv_rows(comm, node, a_rows, x);
+  Tensor bx = pgemv_rows(comm, node, b_rows, x);
+  Tensor y_rows(ir::DType::f64, ax.shape());
+  for (int64_t i = 0; i < y_rows.size(); ++i)
+    y_rows.set_flat(i, alpha * ax.get_flat(i) + beta * bx.get_flat(i));
+  if (out) store_rows(y_rows, out->at("y"), p, comm.rank());
+}
+
+// ---------------------------------------------------------------------------
+// doitgen (embarrassingly parallel over NR)
+// ---------------------------------------------------------------------------
+
+void dist_doitgen(Comm& comm, const NodeModel& node, const Sym& sizes,
+                  Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int64_t nr = S(sizes, "NR"), nq = S(sizes, "NQ"), np = S(sizes, "NP");
+  int64_t rb = block_size(nr, p);
+  int64_t r0 = comm.rank() * rb, r1 = std::min(nr, r0 + rb);
+  Tensor c4 = replicated(comm, g.at("C4"));
+  Tensor a_loc = local_rows(g.at("A"), p, comm.rank());
+  initial_distribution(comm);
+  std::vector<double> sum((size_t)np);
+  for (int64_t r = 0; r < r1 - r0; ++r) {
+    for (int64_t q = 0; q < nq; ++q) {
+      for (int64_t k = 0; k < np; ++k) {
+        sum[(size_t)k] = 0;
+        for (int64_t l = 0; l < np; ++l)
+          sum[(size_t)k] += a_loc.at({r, q, l}) * c4.at({l, k});
+      }
+      for (int64_t k = 0; k < np; ++k) a_loc.at({r, q, k}) = sum[(size_t)k];
+    }
+  }
+  comm.add_time(node.compute_time(
+      (uint64_t)(2 * (r1 - r0) * nq * np * np),
+      (uint64_t)(8 * (r1 - r0) * nq * np)));
+  if (out) store_rows(a_loc, out->at("A"), p, comm.rank());
+}
+
+// ---------------------------------------------------------------------------
+// Stencils (halo exchange, Section 4.3 local view)
+// ---------------------------------------------------------------------------
+
+void dist_jacobi_1d(Comm& comm, const NodeModel& node, const Sym& sizes,
+                    Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int rank = comm.rank();
+  int64_t n = S(sizes, "N"), tsteps = S(sizes, "TSTEPS");
+  // Interior cells 1..n-2 split into blocks; halo of 1 on each side.
+  int64_t interior = n - 2;
+  int64_t lb = block_size(interior, p);
+  int64_t i0 = 1 + rank * lb;
+  int64_t cells = std::max<int64_t>(0, std::min(interior - rank * lb, lb));
+  std::vector<double> A((size_t)(cells + 2)), B((size_t)(cells + 2));
+  for (int64_t i = 0; i < cells + 2; ++i) {
+    int64_t gi = i0 - 1 + i;
+    A[(size_t)i] = gi < n ? g.at("A").get_flat(gi) : 0.0;
+    B[(size_t)i] = gi < n ? g.at("B").get_flat(gi) : 0.0;
+  }
+  initial_distribution(comm);
+  int left = rank > 0 ? rank - 1 : -1;
+  int right = rank + 1 < p ? rank + 1 : -1;
+  auto halo = [&](std::vector<double>& buf, int tag) {
+    if (left >= 0) comm.send(&buf[1], 1, left, tag);
+    if (right >= 0) comm.send(&buf[(size_t)cells], 1, right, tag + 1);
+    if (left >= 0) comm.recv(&buf[0], 1, left, tag + 1);
+    if (right >= 0) comm.recv(&buf[(size_t)cells + 1], 1, right, tag);
+  };
+  auto sweep = [&](const std::vector<double>& src, std::vector<double>& dst) {
+    for (int64_t i = 1; i <= cells; ++i)
+      dst[(size_t)i] =
+          0.33333 * (src[(size_t)i - 1] + src[(size_t)i] + src[(size_t)i + 1]);
+    comm.add_time(node.compute_time((uint64_t)(3 * cells),
+                                    (uint64_t)(16 * cells)));
+  };
+  for (int64_t t = 1; t < tsteps; ++t) {
+    halo(A, 10);
+    sweep(A, B);
+    halo(B, 20);
+    sweep(B, A);
+  }
+  if (out) {
+    for (int64_t i = 1; i <= cells; ++i) {
+      out->at("A").set_flat(i0 + i - 1, A[(size_t)i]);
+      out->at("B").set_flat(i0 + i - 1, B[(size_t)i]);
+    }
+  }
+}
+
+void dist_jacobi_2d(Comm& comm, const NodeModel& node, const Sym& sizes,
+                    Bindings& g, Bindings* out) {
+  int p = comm.size();
+  int rank = comm.rank();
+  int64_t n = S(sizes, "N"), tsteps = S(sizes, "TSTEPS");
+  Grid2D grid = Grid2D::square(p);
+  int pr = grid.row_of(rank), pc = grid.col_of(rank);
+  int64_t interior = n - 2;
+  int64_t lbx = block_size(interior, grid.Pr);
+  int64_t lby = block_size(interior, grid.Pc);
+  int64_t x0 = 1 + pr * lbx, y0 = 1 + pc * lby;
+  int64_t cx = std::max<int64_t>(0, std::min(interior - pr * lbx, lbx));
+  int64_t cy = std::max<int64_t>(0, std::min(interior - pc * lby, lby));
+  int64_t w = cy + 2;  // local row width
+  auto idx = [&](int64_t i, int64_t j) { return (size_t)(i * w + j); };
+  std::vector<double> A((size_t)((cx + 2) * w)), B(A.size());
+  for (int64_t i = 0; i < cx + 2; ++i) {
+    for (int64_t j = 0; j < cy + 2; ++j) {
+      int64_t gi = x0 - 1 + i, gj = y0 - 1 + j;
+      bool valid = gi < n && gj < n;
+      A[idx(i, j)] = valid ? g.at("A").at({gi, gj}) : 0.0;
+      B[idx(i, j)] = valid ? g.at("B").at({gi, gj}) : 0.0;
+    }
+  }
+  initial_distribution(comm);
+  int north = pr > 0 ? grid.rank_of(pr - 1, pc) : -1;
+  int south = pr + 1 < grid.Pr ? grid.rank_of(pr + 1, pc) : -1;
+  int west = pc > 0 ? grid.rank_of(pr, pc - 1) : -1;
+  int east = pc + 1 < grid.Pc ? grid.rank_of(pr, pc + 1) : -1;
+  auto halo = [&](std::vector<double>& buf, int tag) {
+    std::vector<Comm::Request> reqs;
+    // Rows are contiguous; columns use the vector datatype.
+    if (north >= 0)
+      reqs.push_back(comm.isend(&buf[idx(1, 1)], 1, cy, cy, north, tag));
+    if (south >= 0)
+      reqs.push_back(comm.isend(&buf[idx(cx, 1)], 1, cy, cy, south, tag + 1));
+    if (west >= 0)
+      reqs.push_back(
+          comm.isend(&buf[idx(1, 1)], cx, 1, w, west, tag + 2));
+    if (east >= 0)
+      reqs.push_back(
+          comm.isend(&buf[idx(1, cy)], cx, 1, w, east, tag + 3));
+    if (north >= 0)
+      reqs.push_back(comm.irecv(&buf[idx(0, 1)], 1, cy, cy, north, tag + 1));
+    if (south >= 0)
+      reqs.push_back(
+          comm.irecv(&buf[idx(cx + 1, 1)], 1, cy, cy, south, tag));
+    if (west >= 0)
+      reqs.push_back(
+          comm.irecv(&buf[idx(1, 0)], cx, 1, w, west, tag + 3));
+    if (east >= 0)
+      reqs.push_back(
+          comm.irecv(&buf[idx(1, cy + 1)], cx, 1, w, east, tag + 2));
+    comm.waitall(reqs);
+  };
+  auto sweep = [&](const std::vector<double>& src, std::vector<double>& dst) {
+    for (int64_t i = 1; i <= cx; ++i) {
+      for (int64_t j = 1; j <= cy; ++j) {
+        dst[idx(i, j)] = 0.2 * (src[idx(i, j)] + src[idx(i, j - 1)] +
+                                src[idx(i, j + 1)] + src[idx(i + 1, j)] +
+                                src[idx(i - 1, j)]);
+      }
+    }
+    comm.add_time(node.compute_time((uint64_t)(5 * cx * cy),
+                                    (uint64_t)(16 * cx * cy)));
+  };
+  for (int64_t t = 1; t < tsteps; ++t) {
+    halo(A, 10);
+    sweep(A, B);
+    halo(B, 30);
+    sweep(B, A);
+  }
+  if (out) {
+    for (int64_t i = 1; i <= cx; ++i) {
+      for (int64_t j = 1; j <= cy; ++j) {
+        out->at("A").at({x0 + i - 1, y0 + j - 1}) = A[idx(i, j)];
+        out->at("B").at({x0 + i - 1, y0 + j - 1}) = B[idx(i, j)];
+      }
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& distributed_kernels() {
+  static const std::vector<std::string> names = {
+      "atax", "bicg", "doitgen", "gemm", "gemver", "gesummv",
+      "jacobi_1d", "jacobi_2d", "k2mm", "k3mm", "mvt"};
+  return names;
+}
+
+DistResult run_dist_kernel(const std::string& name, World& world,
+                           const sym::SymbolMap& sizes, const NodeModel& node,
+                           rt::Bindings* validate_out) {
+  const kernels::Kernel& k = kernels::kernel(name);
+  rt::Bindings globals = k.init(sizes);
+  if (validate_out) {
+    // Outputs start from the same initial contents.
+    for (const auto& [n2, t] : globals) validate_out->emplace(n2, t.copy());
+  }
+  using Fn = void (*)(Comm&, const NodeModel&, const Sym&, Bindings&,
+                      Bindings*);
+  static const std::map<std::string, Fn> dispatch = {
+      {"gemm", dist_gemm},       {"k2mm", dist_k2mm},
+      {"k3mm", dist_k3mm},       {"atax", dist_atax},
+      {"bicg", dist_bicg},       {"mvt", dist_mvt},
+      {"gemver", dist_gemver},   {"gesummv", dist_gesummv},
+      {"doitgen", dist_doitgen}, {"jacobi_1d", dist_jacobi_1d},
+      {"jacobi_2d", dist_jacobi_2d}};
+  auto it = dispatch.find(name);
+  DACE_CHECK(it != dispatch.end(), "dist: kernel '", name,
+             "' has no distributed schedule");
+  world.run([&](Comm& comm) {
+    it->second(comm, node, sizes, globals, validate_out);
+  });
+  DistResult res;
+  res.time_s = world.max_clock();
+  res.bytes = world.total_bytes();
+  res.messages = world.total_messages();
+  return res;
+}
+
+}  // namespace dace::dist

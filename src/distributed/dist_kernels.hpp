@@ -1,0 +1,36 @@
+// Distributed schedules of the Table-2 kernels (Section 4 / Fig. 12).
+//
+// Each function is the executable form of the automatically distributed
+// SDFG for one benchmark: scatter/gather-style block distributions for
+// element-wise operations, PBLAS expansions for the products (pgemm ring,
+// row-distributed matvec with allreduce), and halo exchanges with MPI
+// vector datatypes for the stencils (the explicit local-view scheme of
+// Section 4.3).  All data movement is real (results validate against the
+// shared-memory reference at small rank counts); time comes from the
+// simMPI clocks plus the per-rank node model.
+#pragma once
+
+#include "distributed/simmpi.hpp"
+#include "kernels/suite.hpp"
+
+namespace dace::dist {
+
+struct DistResult {
+  double time_s = 0;       // max virtual clock over ranks
+  int64_t bytes = 0;       // total bytes moved
+  int64_t messages = 0;
+};
+
+/// Run the named Table-2 kernel distributed over `world`.
+/// When `validate_out` is non-null, global outputs are written into it
+/// (same containers as kernels::kernel(name).init) for correctness
+/// checks.
+DistResult run_dist_kernel(const std::string& name, World& world,
+                           const sym::SymbolMap& sizes,
+                           const NodeModel& node = NodeModel(),
+                           rt::Bindings* validate_out = nullptr);
+
+/// Kernel names available for distribution (the Table 2 set).
+const std::vector<std::string>& distributed_kernels();
+
+}  // namespace dace::dist

@@ -1,0 +1,268 @@
+#include "distributed/dist_transforms.hpp"
+
+#include <algorithm>
+
+namespace dace::dist {
+
+using ir::AccessNode;
+using ir::Edge;
+using ir::LibraryNode;
+using ir::MapEntry;
+using ir::MapExit;
+using ir::Memlet;
+using ir::SDFG;
+using ir::State;
+using ir::Tasklet;
+using sym::Expr;
+using sym::Subset;
+
+namespace {
+
+/// The local-view container of X: 1-D block of ceil(numel/__P) elements.
+std::string local_name(const std::string& x) { return "__loc_" + x; }
+
+ir::DataDesc& ensure_local(SDFG& sdfg, const std::string& x) {
+  std::string ln = local_name(x);
+  if (sdfg.has_array(ln)) return sdfg.array(ln);
+  const ir::DataDesc& d = sdfg.array(x);
+  Expr lsz = sym::ceildiv(d.num_elements(), Expr::symbol("__P"));
+  auto& nd = sdfg.add_array(ln, d.dtype, {lsz}, /*transient=*/true);
+  return nd;
+}
+
+/// Check that a subset is exactly [p0, p1, ..., pk] for the map params.
+bool is_param_element(const Subset& s, const std::vector<std::string>& ps) {
+  if (s.dims() != ps.size()) return false;
+  for (size_t d = 0; d < ps.size(); ++d) {
+    if (!s.range(d).is_index()) return false;
+    if (!s.range(d).begin.equals(Expr::symbol(ps[d]))) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+bool distribute_elementwise(SDFG& sdfg) {
+  for (int sid : sdfg.state_ids()) {
+    State& st = sdfg.state(sid);
+    // Exactly one top-level map; only access nodes besides it.
+    int entry = -1;
+    bool clean = true;
+    for (int id : st.node_ids()) {
+      const ir::Node* n = st.node(id);
+      if (n->kind == ir::NodeKind::MapEntry && st.scope_of(id) == -1) {
+        if (entry != -1) clean = false;
+        entry = id;
+      } else if (n->kind == ir::NodeKind::Library ||
+                 n->kind == ir::NodeKind::NestedSDFG ||
+                 (n->kind == ir::NodeKind::Tasklet && st.scope_of(id) == -1)) {
+        clean = false;
+      }
+    }
+    if (!clean || entry < 0) continue;
+    auto* me = st.node_as<MapEntry>(entry);
+    int exit = me->exit_node;
+    // Already distributed?
+    if (me->params.size() == 1 && me->params[0] == "__di") continue;
+
+    // The map must cover each container fully and access pure
+    // [p0..pk] elements; tasklets must not read the parameters.
+    bool match = true;
+    std::set<std::string> containers;
+    for (const auto& e : st.edges()) {
+      if (e.memlet.empty()) continue;
+      bool inner_in = e.src == entry;
+      bool inner_out = e.dst == exit;
+      if (inner_in || inner_out) {
+        if (!is_param_element(e.memlet.subset, me->params)) match = false;
+        if (e.memlet.wcr != ir::WCR::None) match = false;
+      }
+      if (e.src == entry || e.dst == entry || e.src == exit || e.dst == exit)
+        containers.insert(e.memlet.data);
+    }
+    for (const auto& c : containers) {
+      const auto& d = sdfg.array(c);
+      // Full-range coverage: map range equals the container shape.
+      if (d.shape.size() != me->params.size()) {
+        match = false;
+        break;
+      }
+      for (size_t k = 0; k < d.shape.size(); ++k) {
+        if (!me->range.range(k).begin.is_zero() ||
+            !me->range.range(k).end.equals(d.shape[k]) ||
+            !me->range.range(k).step.is_one())
+          match = false;
+      }
+    }
+    for (int id : st.scope_nodes(entry)) {
+      if (auto* t = st.node_as<Tasklet>(id)) {
+        std::set<std::string> fs;
+        t->code.free_symbols(fs);
+        for (const auto& p : me->params) match &= !fs.count(p);
+      } else if (st.node(id)->kind != ir::NodeKind::MapExit) {
+        match = false;
+      }
+    }
+    if (!match || containers.empty()) continue;
+
+    // ---- Apply ----
+    sdfg.add_symbol("__P");
+    Expr lsz;
+    // Collect and rewire the outer edges.
+    struct OuterIn {
+      int access;
+      std::string container;
+    };
+    std::vector<OuterIn> ins, outs;
+    for (const auto& e : st.edges()) {
+      if (e.dst == entry && st.node(e.src)->kind == ir::NodeKind::Access)
+        ins.push_back({e.src, e.memlet.data});
+      if (e.src == exit && st.node(e.dst)->kind == ir::NodeKind::Access)
+        outs.push_back({e.dst, e.memlet.data});
+    }
+    // New 1-D map over the local block.
+    const ir::DataDesc& any = sdfg.array(*containers.begin());
+    lsz = sym::ceildiv(any.num_elements(), Expr::symbol("__P"));
+    sym::SubstMap flat;  // old params -> flattened local index
+    // Elementwise with identical [p...] subsets: all memlets inside
+    // become l_X[__di]; parameter substitution is uniform.
+    me->params = {"__di"};
+    me->range = Subset({sym::Range(Expr(0), lsz)});
+
+    std::set<int> scope_set;
+    {
+      auto sn = st.scope_nodes(entry);
+      scope_set.insert(sn.begin(), sn.end());
+      scope_set.insert(entry);
+      scope_set.insert(exit);
+    }
+    for (auto& e : st.edges()) {
+      bool inner = scope_set.count(e.src) && scope_set.count(e.dst);
+      if (!inner || e.memlet.empty()) continue;
+      e.memlet = Memlet(local_name(e.memlet.data),
+                        Subset::element({Expr::symbol("__di")}),
+                        e.memlet.wcr);
+    }
+    // Connector renames on entry/exit.
+    for (auto& e : st.edges()) {
+      auto fix = [&](std::string& conn) {
+        if (conn.rfind("IN_", 0) == 0)
+          conn = "IN_" + local_name(conn.substr(3));
+        else if (conn.rfind("OUT_", 0) == 0)
+          conn = "OUT_" + local_name(conn.substr(4));
+      };
+      if (e.src == entry || e.src == exit) fix(e.src_conn);
+      if (e.dst == entry || e.dst == exit) fix(e.dst_conn);
+    }
+    // Scatter inputs / gather outputs.
+    st.remove_edges_if([&](const Edge& e) {
+      return (e.dst == entry &&
+              st.node(e.src)->kind == ir::NodeKind::Access) ||
+             (e.src == exit && st.node(e.dst)->kind == ir::NodeKind::Access);
+    });
+    for (const auto& in : ins) {
+      ir::DataDesc& ld = ensure_local(sdfg, in.container);
+      int lib = st.add_library("comm::Scatter1D");
+      int lacc = st.add_access(ld.name);
+      const auto& gd = sdfg.array(in.container);
+      st.add_edge(in.access, "", lib, "_in",
+                  Memlet(in.container, Subset::full(gd.shape)));
+      st.add_edge(lib, "_out", lacc, "",
+                  Memlet(ld.name, Subset::full(ld.shape)));
+      st.add_edge(lacc, "", entry, "IN_" + ld.name,
+                  Memlet(ld.name, Subset::full(ld.shape)));
+    }
+    for (const auto& out : outs) {
+      ir::DataDesc& ld = ensure_local(sdfg, out.container);
+      int lib = st.add_library("comm::Gather1D");
+      int lacc = st.add_access(ld.name);
+      const auto& gd = sdfg.array(out.container);
+      st.add_edge(exit, "OUT_" + ld.name, lacc, "",
+                  Memlet(ld.name, Subset::full(ld.shape)));
+      st.add_edge(lacc, "", lib, "_in",
+                  Memlet(ld.name, Subset::full(ld.shape)));
+      st.add_edge(lib, "_out", out.access, "",
+                  Memlet(out.container, Subset::full(gd.shape)));
+    }
+    return true;
+  }
+  return false;
+}
+
+bool remove_redundant_comm(SDFG& sdfg) {
+  // Pattern: Gather1D writes transient T (T's only write), and a
+  // Scatter1D elsewhere reads T into the same local container; T has no
+  // other uses. Both ops are 1-D block over __P: distributions match.
+  for (int s1 : sdfg.state_ids()) {
+    State& st1 = sdfg.state(s1);
+    for (int g : st1.node_ids()) {
+      const auto* lg = st1.node_as<const LibraryNode>(g);
+      if (!lg || lg->op != "comm::Gather1D") continue;
+      auto gouts = st1.out_edges(g);
+      if (gouts.size() != 1) continue;
+      const std::string T = gouts[0]->memlet.data;
+      if (!sdfg.array(T).transient) continue;
+      int t_access = gouts[0]->dst;
+      // Find the matching scatter.
+      int s2 = -1, sc = -1;
+      int uses = 0;
+      bool other_use = false;
+      for (int sid : sdfg.state_ids()) {
+        State& st2 = sdfg.state(sid);
+        for (int nid : st2.node_ids()) {
+          const auto* a = st2.node_as<const AccessNode>(nid);
+          if (a && a->data == T) {
+            ++uses;
+            // Writers other than the gather or readers other than a
+            // scatter disqualify.
+            for (const auto* e : st2.out_edges(nid)) {
+              const auto* l2 = st2.node_as<const LibraryNode>(e->dst);
+              if (l2 && l2->op == "comm::Scatter1D") {
+                s2 = sid;
+                sc = e->dst;
+              } else {
+                other_use = true;
+              }
+            }
+            for (const auto* e : st2.in_edges(nid)) {
+              if (e->src != g) other_use = true;
+            }
+          }
+        }
+      }
+      if (other_use || sc < 0 || uses != 2) continue;
+      State& st2 = sdfg.state(s2);
+      // Local containers on both sides must match (same 1-D block dist).
+      auto gin = st1.in_edges(g);
+      auto scouts = st2.out_edges(sc);
+      if (gin.size() != 1 || scouts.size() != 1) continue;
+      if (gin[0]->memlet.data != scouts[0]->memlet.data) continue;
+
+      // Elide: local data stays resident in its local container.
+      int sc_out_access = scouts[0]->dst;
+      int sc_in_access = -1;
+      for (const auto* e : st2.in_edges(sc)) sc_in_access = e->src;
+      // st1: producer local access keeps its data; drop gather + T.
+      st1.remove_edges_if(
+          [&](const Edge& e) { return e.src == g || e.dst == g; });
+      st1.remove_node(g);
+      if (st1.in_degree(t_access) == 0 && st1.out_degree(t_access) == 0)
+        st1.remove_node(t_access);
+      // st2: consumers read the resident local container directly.
+      st2.remove_edges_if(
+          [&](const Edge& e) { return e.src == sc || e.dst == sc; });
+      st2.remove_node(sc);
+      if (sc_in_access >= 0 && st2.in_degree(sc_in_access) == 0 &&
+          st2.out_degree(sc_in_access) == 0)
+        st2.remove_node(sc_in_access);
+      // The scatter's output access node stays: it is now a source read
+      // of the resident local data.
+      (void)sc_out_access;
+      if (!xf::container_referenced(sdfg, T)) sdfg.remove_array(T);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dace::dist

@@ -1,0 +1,31 @@
+// Implicit distribution transformations (Sections 4.1 and 4.2).
+//
+// DistributeElementWiseArrayOp converts shared-memory element-wise map
+// scopes to distributed memory following the paper's scatter-gather
+// pattern: scatter the inputs as 1-D blocks (the most efficient
+// distribution for contiguous arrays), compute locally on
+// ceil(total/__P)-sized blocks, and gather the outputs.  Applying it to
+// each operation separately is correct but redundant -- the
+// RemoveRedundantComm transformation then tracks access sets through the
+// memlets and elides matching gather/scatter pairs on transients
+// (Fig. 11), leaving data resident in its local view across operations.
+//
+// Execution: the comm::Scatter1D / comm::Gather1D library nodes dispatch
+// to simMPI under run_distributed_sdfg; __P is the world size.
+#pragma once
+
+#include "transforms/pass.hpp"
+
+namespace dace::dist {
+
+/// Distribute one element-wise map scope (scatter -> local map -> gather).
+/// Matches top-level maps whose memlets are all exactly the map-parameter
+/// element over full container ranges and whose tasklets do not read the
+/// parameters. Returns true if applied.
+bool distribute_elementwise(ir::SDFG& sdfg);
+
+/// Remove one redundant gather/scatter pair over a transient whose
+/// distributions match (both 1-D block of the same container).
+bool remove_redundant_comm(ir::SDFG& sdfg);
+
+}  // namespace dace::dist

@@ -1,0 +1,67 @@
+#include "distributed/pblas.hpp"
+
+#include "runtime/tensor_ops.hpp"
+
+namespace dace::dist {
+
+void pgemm(Comm& comm, const Grid2D& g, const NodeModel& node,
+           const rt::Tensor& a_rows, const rt::Tensor& b_col,
+           rt::Tensor& c_rows) {
+  (void)g;
+  // Ring algorithm over a 1-D decomposition:
+  //   A: row block    (mb x K)   per rank
+  //   B: column block (K x nb)   per rank (rotated around the ring)
+  //   C: row block    (mb x N)   per rank
+  // Per-rank communication volume grows with the problem size, giving the
+  // characteristic lower weak-scaling efficiency of distributed GEMM
+  // (consistent with MKL-ScaLAPACK behavior cited in the paper).
+  int p = comm.size();
+  int rank = comm.rank();
+  int64_t mb = a_rows.shape()[0], k = a_rows.shape()[1];
+  int64_t nb = b_col.shape()[1];
+  DACE_CHECK(b_col.shape()[0] == k, "pgemm: inner dimension mismatch");
+  DACE_CHECK(c_rows.shape()[0] == mb && c_rows.shape()[1] == nb * p,
+             "pgemm: C block shape mismatch");
+
+  rt::Tensor cur = b_col.copy();
+  rt::Tensor nxt(b_col.dtype(), {k, nb});
+  for (int round = 0; round < p; ++round) {
+    int col_owner = (rank + round) % p;
+    // Local GEMM into the owner's column stripe of C.
+    rt::Tensor prod = rt::ops::matmul(a_rows, cur);
+    rt::Tensor stripe = c_rows.slice({0, col_owner * nb},
+                                     {mb, (col_owner + 1) * nb}, {1, 1});
+    stripe.assign_from(rt::ops::add(stripe, prod));
+    comm.add_time(node.compute_time((uint64_t)(2 * mb * nb * k),
+                                    (uint64_t)((mb * k + k * nb) * 8)));
+    if (round + 1 == p) break;
+    // Rotate B blocks around the ring.
+    int to = (rank + p - 1) % p;
+    int from = (rank + 1) % p;
+    comm.send(cur.data(), cur.size(), to, 300 + round);
+    comm.recv(nxt.data(), nxt.size(), from, 300 + round);
+    std::swap(cur, nxt);
+  }
+}
+
+rt::Tensor pgemv_rows(Comm& comm, const NodeModel& node,
+                      const rt::Tensor& a_rows, const rt::Tensor& x_full) {
+  rt::Tensor y = rt::ops::matmul(a_rows, x_full);
+  comm.add_time(node.compute_time((uint64_t)(2 * a_rows.size()),
+                                  (uint64_t)(a_rows.size() * 8)));
+  return y;
+}
+
+rt::Tensor pgemv_trans_allreduce(Comm& comm, const NodeModel& node,
+                                 const rt::Tensor& a_rows,
+                                 const rt::Tensor& x_rows, int64_t n_full) {
+  // partial = x_rows^T A_rows (a vector of length n_full), then allreduce.
+  rt::Tensor partial = rt::ops::matmul(x_rows, a_rows);
+  DACE_CHECK(partial.size() == n_full, "pgemv_trans: size mismatch");
+  comm.add_time(node.compute_time((uint64_t)(2 * a_rows.size()),
+                                  (uint64_t)(a_rows.size() * 8)));
+  comm.allreduce_sum(partial.data(), partial.size());
+  return partial;
+}
+
+}  // namespace dace::dist

@@ -1,0 +1,35 @@
+// PBLAS-like distributed linear algebra over simMPI (Section 4.1).
+//
+// Implements the operations the paper's library-node expansions use:
+// pgemm (SUMMA-style matrix-matrix product over a 2-D block-distributed
+// grid, the expansion of MatMul to p?gemm) and the 1-D row-distributed
+// matrix-vector products backing atax/bicg/mvt/gemver/gesummv.  The
+// process grid is managed like BLACS: ranks are arranged row-major on a
+// near-square grid.
+#pragma once
+
+#include "distributed/process_grid.hpp"
+#include "distributed/simmpi.hpp"
+#include "runtime/tensor.hpp"
+
+namespace dace::dist {
+
+/// C_loc += A_loc x B_loc over the grid (SUMMA; all blocks padded to
+/// (mb,kb),(kb,nb),(mb,nb)). Charges both communication (panel
+/// broadcasts) and local compute time.
+void pgemm(Comm& comm, const Grid2D& g, const NodeModel& node,
+           const rt::Tensor& a_loc, const rt::Tensor& b_loc,
+           rt::Tensor& c_loc);
+
+/// y_partial = A_rows x x_full, A distributed by rows over all ranks.
+/// Result is this rank's row block of y; x must be replicated.
+rt::Tensor pgemv_rows(Comm& comm, const NodeModel& node,
+                      const rt::Tensor& a_rows, const rt::Tensor& x_full);
+
+/// y_full = A_rows^T x x_rows summed over ranks (allreduce), where both
+/// A and x are row-distributed. Returns the replicated full result.
+rt::Tensor pgemv_trans_allreduce(Comm& comm, const NodeModel& node,
+                                 const rt::Tensor& a_rows,
+                                 const rt::Tensor& x_rows, int64_t n_full);
+
+}  // namespace dace::dist

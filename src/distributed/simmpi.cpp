@@ -1,0 +1,311 @@
+#include "distributed/simmpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dace::dist {
+
+World::World(int nranks, NetModel net)
+    : nranks_(nranks), net_(net), clocks_((size_t)nranks, 0.0) {
+  DACE_CHECK(nranks >= 1, "simmpi: need at least one rank");
+}
+
+World::~World() = default;
+
+void World::run(const std::function<void(Comm&)>& fn) {
+  std::fill(clocks_.begin(), clocks_.end(), 0.0);
+  mailboxes_.clear();
+  total_bytes_ = 0;
+  total_messages_ = 0;
+  coll_arrived_ = 0;
+  coll_phase_ = 0;
+
+  std::vector<std::thread> threads;
+  std::vector<std::exception_ptr> errors((size_t)nranks_);
+  for (int r = 1; r < nranks_; ++r) {
+    threads.emplace_back([&, r] {
+      try {
+        Comm c(*this, r);
+        fn(c);
+      } catch (...) {
+        errors[(size_t)r] = std::current_exception();
+      }
+    });
+  }
+  try {
+    Comm c(*this, 0);
+    fn(c);
+  } catch (...) {
+    errors[0] = std::current_exception();
+  }
+  for (auto& t : threads) t.join();
+  for (auto& e : errors) {
+    if (e) std::rethrow_exception(e);
+  }
+}
+
+double World::max_clock() const {
+  double m = 0;
+  for (double c : clocks_) m = std::max(m, c);
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Point-to-point
+// ---------------------------------------------------------------------------
+
+double Comm::clock() const {
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  return world_.clocks_[(size_t)rank_];
+}
+
+void Comm::add_time(double seconds) {
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  world_.clocks_[(size_t)rank_] += seconds;
+}
+
+void Comm::send_vector(const double* buf, int64_t count, int64_t block,
+                       int64_t stride, int dst, int tag) {
+  DACE_CHECK(dst >= 0 && dst < size(), "simmpi: send to invalid rank ", dst);
+  World::Message msg;
+  msg.data.reserve((size_t)(count * block));
+  for (int64_t c = 0; c < count; ++c) {
+    for (int64_t b = 0; b < block; ++b)
+      msg.data.push_back(buf[c * stride + b]);
+  }
+  int64_t bytes = (int64_t)msg.data.size() * 8;
+  {
+    std::lock_guard<std::mutex> lk(world_.mu_);
+    double& my_clock = world_.clocks_[(size_t)rank_];
+    msg.arrival = my_clock + world_.net_.p2p(bytes);
+    my_clock += world_.net_.alpha_s;  // sender-side overhead
+    world_.mailboxes_[World::MailboxKey{rank_, dst, tag}].push_back(
+        std::move(msg));
+    world_.total_bytes_ += bytes;
+    ++world_.total_messages_;
+  }
+  world_.cv_.notify_all();
+}
+
+void Comm::send(const double* buf, int64_t n, int dst, int tag) {
+  send_vector(buf, 1, n, n, dst, tag);
+}
+
+void Comm::recv_vector(double* buf, int64_t count, int64_t block,
+                       int64_t stride, int src, int tag) {
+  DACE_CHECK(src >= 0 && src < size(), "simmpi: recv from invalid rank ", src);
+  std::unique_lock<std::mutex> lk(world_.mu_);
+  auto key = World::MailboxKey{src, rank_, tag};
+  world_.cv_.wait(lk, [&] {
+    auto it = world_.mailboxes_.find(key);
+    return it != world_.mailboxes_.end() && !it->second.empty();
+  });
+  World::Message msg = std::move(world_.mailboxes_[key].front());
+  world_.mailboxes_[key].pop_front();
+  DACE_CHECK((int64_t)msg.data.size() == count * block,
+             "simmpi: message size mismatch (tag ", tag, "): got ",
+             msg.data.size(), " want ", count * block);
+  double& my_clock = world_.clocks_[(size_t)rank_];
+  my_clock = std::max(my_clock, msg.arrival);
+  lk.unlock();
+  for (int64_t c = 0; c < count; ++c) {
+    for (int64_t b = 0; b < block; ++b) buf[c * stride + b] = msg.data[(size_t)(c * block + b)];
+  }
+}
+
+void Comm::recv(double* buf, int64_t n, int src, int tag) {
+  recv_vector(buf, 1, n, n, src, tag);
+}
+
+Comm::Request Comm::isend(const double* buf, int64_t count, int64_t block,
+                          int64_t stride, int dst, int tag) {
+  // Buffered eager send: completes immediately.
+  send_vector(buf, count, block, stride, dst, tag);
+  Request r;
+  r.is_send = true;
+  r.done = true;
+  r.peer = dst;
+  r.tag = tag;
+  return r;
+}
+
+Comm::Request Comm::irecv(double* buf, int64_t count, int64_t block,
+                          int64_t stride, int src, int tag) {
+  Request r;
+  r.is_send = false;
+  r.buf = buf;
+  r.count = count;
+  r.block = block;
+  r.stride = stride;
+  r.peer = src;
+  r.tag = tag;
+  r.done = false;
+  return r;
+}
+
+void Comm::wait(Request& r) {
+  if (r.done) return;
+  recv_vector(r.buf, r.count, r.block, r.stride, r.peer, r.tag);
+  r.done = true;
+}
+
+void Comm::waitall(std::vector<Request>& rs) {
+  for (auto& r : rs) wait(r);
+}
+
+// ---------------------------------------------------------------------------
+// Collectives
+// ---------------------------------------------------------------------------
+
+void Comm::rendezvous(const void* root_data, int root, double cost,
+                      const std::function<void(const void*)>& exchange) {
+  std::unique_lock<std::mutex> lk(world_.coll_mu_);
+  uint64_t phase = world_.coll_phase_;
+  if (rank_ == root) world_.coll_root_data_ = root_data;
+  {
+    std::lock_guard<std::mutex> clk(world_.mu_);
+    world_.coll_max_clock_ = std::max(world_.coll_max_clock_,
+                                      world_.clocks_[(size_t)rank_]);
+  }
+  if (++world_.coll_arrived_ == world_.nranks_) {
+    // Last arriver publishes the synchronized clock and wakes everyone.
+    double synced = world_.coll_max_clock_ + cost;
+    {
+      std::lock_guard<std::mutex> clk(world_.mu_);
+      for (auto& c : world_.clocks_) c = std::max(c, synced);
+    }
+    world_.coll_arrived_ = 0;
+    world_.coll_max_clock_ = 0;
+    ++world_.coll_phase_;
+    // Exchange happens while everyone is still parked, using root's data.
+    exchange(world_.coll_root_data_);
+    world_.coll_cv_.notify_all();
+  } else {
+    world_.coll_cv_.wait(lk, [&] { return world_.coll_phase_ != phase; });
+    exchange(world_.coll_root_data_);
+  }
+  // Second phase: wait for all exchanges before anyone may reuse buffers.
+  if (++world_.coll_arrived_ == world_.nranks_) {
+    world_.coll_arrived_ = 0;
+    ++world_.coll_phase_;
+    world_.coll_cv_.notify_all();
+  } else {
+    uint64_t phase2 = world_.coll_phase_;
+    world_.coll_cv_.wait(lk, [&] { return world_.coll_phase_ != phase2; });
+  }
+}
+
+namespace {
+double log2p(int p) { return p > 1 ? std::log2((double)p) : 1.0; }
+}  // namespace
+
+void Comm::charge_sync(double cost) {
+  rendezvous(nullptr, 0, cost, [](const void*) {});
+}
+
+void Comm::barrier() {
+  double cost = world_.net().alpha_s * log2p(size());
+  rendezvous(nullptr, 0, cost, [](const void*) {});
+}
+
+void Comm::bcast(double* buf, int64_t n, int root) {
+  double cost = log2p(size()) * world_.net().p2p(n * 8);
+  rendezvous(buf, root, cost, [&](const void* root_data) {
+    if (rank_ != root) {
+      const double* src = static_cast<const double*>(root_data);
+      std::copy(src, src + n, buf);
+    }
+  });
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  world_.total_bytes_ += (rank_ == root) ? n * 8 * (size() - 1) : 0;
+}
+
+void Comm::scatter(const double* sendbuf, double* recvbuf, int64_t n_per_rank,
+                   int root) {
+  int p = size();
+  double cost = world_.net().alpha_s * log2p(p) +
+                (double)(p - 1) / p * (double)(n_per_rank * p * 8) /
+                    world_.net().bandwidth;
+  rendezvous(sendbuf, root, cost, [&](const void* root_data) {
+    const double* src = static_cast<const double*>(root_data);
+    std::copy(src + rank_ * n_per_rank, src + (rank_ + 1) * n_per_rank,
+              recvbuf);
+  });
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  if (rank_ == root) world_.total_bytes_ += n_per_rank * 8 * (p - 1);
+}
+
+void Comm::gather(const double* sendbuf, double* recvbuf, int64_t n_per_rank,
+                  int root) {
+  int p = size();
+  double cost = world_.net().alpha_s * log2p(p) +
+                (double)(p - 1) / p * (double)(n_per_rank * p * 8) /
+                    world_.net().bandwidth;
+  // Root's recvbuf is the shared destination.
+  rendezvous(recvbuf, root, cost, [&](const void* root_data) {
+    double* dst = static_cast<double*>(const_cast<void*>(root_data));
+    std::copy(sendbuf, sendbuf + n_per_rank, dst + rank_ * n_per_rank);
+  });
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  if (rank_ == root) world_.total_bytes_ += n_per_rank * 8 * (p - 1);
+}
+
+void Comm::allgather(const double* sendbuf, double* recvbuf,
+                     int64_t n_per_rank) {
+  int p = size();
+  // Ring allgather: (p-1) rounds.
+  double cost = (p - 1) * world_.net().alpha_s +
+                (double)(p - 1) * (double)(n_per_rank * 8) /
+                    world_.net().bandwidth;
+  // Shared staging area: use rank 0's recvbuf as the root data.
+  rendezvous(recvbuf, 0, cost, [&](const void* root_data) {
+    double* dst = static_cast<double*>(const_cast<void*>(root_data));
+    std::copy(sendbuf, sendbuf + n_per_rank, dst + rank_ * n_per_rank);
+  });
+  // Second rendezvous distributes the assembled buffer to all ranks.
+  rendezvous(recvbuf, 0, 0.0, [&](const void* root_data) {
+    const double* src = static_cast<const double*>(root_data);
+    if (src != recvbuf) std::copy(src, src + n_per_rank * p, recvbuf);
+  });
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  if (rank_ == 0) world_.total_bytes_ += n_per_rank * 8 * (p - 1) * 2;
+}
+
+void Comm::allreduce_sum(double* buf, int64_t n) {
+  int p = size();
+  double cost = 2 * world_.net().alpha_s * log2p(p) +
+                2.0 * (double)(n * 8) / world_.net().bandwidth;
+  // Rank 0's buffer accumulates all contributions, then is re-broadcast.
+  rendezvous(buf, 0, cost, [&](const void* root_data) {
+    double* acc = static_cast<double*>(const_cast<void*>(root_data));
+    if (rank_ != 0) {
+      // Serialized accumulation under the collective lock (we are inside
+      // the rendezvous critical section).
+      for (int64_t i = 0; i < n; ++i) acc[i] += buf[i];
+    }
+  });
+  rendezvous(buf, 0, 0.0, [&](const void* root_data) {
+    const double* src = static_cast<const double*>(root_data);
+    if (src != buf) std::copy(src, src + n, buf);
+  });
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  if (rank_ == 0) world_.total_bytes_ += n * 8 * (p - 1) * 2;
+}
+
+void Comm::reduce_sum(const double* sendbuf, double* recvbuf, int64_t n,
+                      int root) {
+  int p = size();
+  double cost = world_.net().alpha_s * log2p(p) +
+                (double)(n * 8) / world_.net().bandwidth;
+  if (rank_ == root) std::copy(sendbuf, sendbuf + n, recvbuf);
+  rendezvous(recvbuf, root, cost, [&](const void* root_data) {
+    double* acc = static_cast<double*>(const_cast<void*>(root_data));
+    if (rank_ != root) {
+      for (int64_t i = 0; i < n; ++i) acc[i] += sendbuf[i];
+    }
+  });
+  std::lock_guard<std::mutex> lk(world_.mu_);
+  if (rank_ == root) world_.total_bytes_ += n * 8 * (p - 1);
+}
+
+}  // namespace dace::dist

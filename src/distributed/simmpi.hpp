@@ -1,0 +1,175 @@
+// simMPI: an in-process message-passing substrate.
+//
+// Stands in for MPI on the Cray Aries network of Piz Daint (Section 4):
+// ranks run as threads over private heaps, point-to-point messages and
+// collectives move real data, and every operation advances per-rank
+// *virtual clocks* through an alpha-beta (latency/bandwidth) network
+// model with log-P collective trees.  Weak-scaling efficiency (Fig. 12)
+// is therefore determined -- as on the real machine -- by the
+// communication volume and structure of the executed schedule relative to
+// modeled local compute, while results remain bit-identical to the
+// shared-memory execution.
+//
+// The interface follows the MPI subset the paper uses: Isend/Irecv/
+// Waitall, Scatter(v)/Gather(v)/Bcast/Allreduce/Reduce/Barrier, and
+// Cartesian grid helpers.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/common.hpp"
+
+namespace dace::dist {
+
+/// Alpha-beta network model.
+struct NetModel {
+  std::string name = "aries";
+  double alpha_s = 1.5e-6;      // per-message latency
+  double bandwidth = 10e9;      // bytes/s per link
+  double p2p(int64_t bytes) const {
+    return alpha_s + (double)bytes / bandwidth;
+  }
+  /// Cray-MPI-like defaults; dasklike/legatelike substitute TCP/GASNet
+  /// parameters.
+  static NetModel mpi_cray() { return NetModel{"cray-mpi", 1.5e-6, 10e9}; }
+  static NetModel gasnet() { return NetModel{"gasnet", 4e-6, 8e9}; }
+  static NetModel tcp() { return NetModel{"tcp", 150e-6, 1.2e9}; }
+};
+
+/// Modeled per-rank compute node (one Piz Daint socket).
+struct NodeModel {
+  double flop_rate = 8e9;      // sustained FLOP/s per rank
+  double mem_bandwidth = 30e9; // bytes/s per rank
+  double compute_time(uint64_t flops, uint64_t bytes) const {
+    double tf = (double)flops / flop_rate;
+    double tm = (double)bytes / mem_bandwidth;
+    return tf > tm ? tf : tm;
+  }
+};
+
+class Comm;
+
+/// A set of ranks executing a function in parallel (threads).
+class World {
+ public:
+  World(int nranks, NetModel net = NetModel::mpi_cray());
+  ~World();
+
+  int size() const { return nranks_; }
+  const NetModel& net() const { return net_; }
+
+  /// Run fn on every rank concurrently; returns when all complete.
+  /// Exceptions on any rank are collected and rethrown.
+  void run(const std::function<void(Comm&)>& fn);
+
+  /// Max of the per-rank virtual clocks after the last run.
+  double max_clock() const;
+  /// Total bytes moved / messages sent during the last run.
+  int64_t total_bytes() const { return total_bytes_; }
+  int64_t total_messages() const { return total_messages_; }
+
+ private:
+  friend class Comm;
+
+  struct Message {
+    std::vector<double> data;
+    double arrival = 0;  // virtual time the payload is available
+  };
+  struct MailboxKey {
+    int src, dst, tag;
+    bool operator<(const MailboxKey& o) const {
+      if (src != o.src) return src < o.src;
+      if (dst != o.dst) return dst < o.dst;
+      return tag < o.tag;
+    }
+  };
+
+  int nranks_;
+  NetModel net_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<MailboxKey, std::deque<Message>> mailboxes_;
+  std::vector<double> clocks_;
+  int64_t total_bytes_ = 0;
+  int64_t total_messages_ = 0;
+
+  // Collective rendezvous (two-phase).
+  std::mutex coll_mu_;
+  std::condition_variable coll_cv_;
+  int coll_arrived_ = 0;
+  uint64_t coll_phase_ = 0;
+  const void* coll_root_data_ = nullptr;
+  double coll_max_clock_ = 0;
+};
+
+/// One rank's endpoint.
+class Comm {
+ public:
+  Comm(World& world, int rank) : world_(world), rank_(rank) {}
+
+  int rank() const { return rank_; }
+  int size() const { return world_.nranks_; }
+
+  // -- virtual time -----------------------------------------------------------
+  double clock() const;
+  /// Charge local compute (from the node model) to this rank's clock.
+  void add_time(double seconds);
+  /// Synchronize all ranks and charge `cost` (a modeled collective whose
+  /// data movement happened through shared memory).
+  void charge_sync(double cost);
+  const NetModel& world_net() const { return world_.net_; }
+
+  // -- point-to-point -----------------------------------------------------------
+  void send(const double* buf, int64_t n, int dst, int tag);
+  /// Strided send (MPI vector datatype): `count` blocks of `block` elems
+  /// with `stride` elems between block starts.
+  void send_vector(const double* buf, int64_t count, int64_t block,
+                   int64_t stride, int dst, int tag);
+  void recv(double* buf, int64_t n, int src, int tag);
+  void recv_vector(double* buf, int64_t count, int64_t block, int64_t stride,
+                   int src, int tag);
+
+  struct Request {
+    bool is_send = false;
+    double* buf = nullptr;
+    int64_t count = 0, block = 0, stride = 0;
+    int peer = -1, tag = 0;
+    bool done = true;
+  };
+  Request isend(const double* buf, int64_t count, int64_t block,
+                int64_t stride, int dst, int tag);
+  Request irecv(double* buf, int64_t count, int64_t block, int64_t stride,
+                int src, int tag);
+  void wait(Request& r);
+  void waitall(std::vector<Request>& rs);
+
+  // -- collectives ---------------------------------------------------------------
+  void barrier();
+  void bcast(double* buf, int64_t n, int root);
+  /// Contiguous equal-block scatter/gather (1-D block distribution).
+  void scatter(const double* sendbuf, double* recvbuf, int64_t n_per_rank,
+               int root);
+  void gather(const double* sendbuf, double* recvbuf, int64_t n_per_rank,
+              int root);
+  void allgather(const double* sendbuf, double* recvbuf, int64_t n_per_rank);
+  void allreduce_sum(double* buf, int64_t n);
+  void reduce_sum(const double* sendbuf, double* recvbuf, int64_t n, int root);
+
+ private:
+  /// Two-phase rendezvous: every rank reaches this point; `root_data` of
+  /// `root` is visible to all during the exchange callback; clocks jump
+  /// to max(clocks) + cost.
+  void rendezvous(const void* root_data, int root, double cost,
+                  const std::function<void(const void*)>& exchange);
+
+  World& world_;
+  int rank_;
+};
+
+}  // namespace dace::dist

@@ -1,0 +1,22 @@
+#include "fpga/fpga_executor.hpp"
+
+namespace dace::fpga {
+
+FpgaRunResult run_fpga(const ir::SDFG& sdfg, rt::Bindings& args,
+                       const sym::SymbolMap& symbols,
+                       const FpgaModel& model) {
+  FpgaRunResult res;
+  rt::ExecutorOptions opts;
+  opts.parallel = false;  // spatial pipelines, not thread parallelism
+  opts.launch_hook = [&](const std::string& kind, const rt::VMStats& d) {
+    (void)kind;
+    res.time_s += model.unit_time(d);
+    ++res.units;
+  };
+  rt::Executor ex(sdfg, opts);
+  ex.run(args, symbols);
+  res.stats = ex.stats();
+  return res;
+}
+
+}  // namespace dace::fpga

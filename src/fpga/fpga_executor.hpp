@@ -1,0 +1,17 @@
+// Executes an FPGA-optimized SDFG on a simulated shell.
+#pragma once
+
+#include "fpga/fpga_model.hpp"
+#include "ir/sdfg.hpp"
+#include "runtime/executor.hpp"
+
+namespace dace::fpga {
+
+/// Run `sdfg` (auto-optimized for DeviceType::FPGA) with real results and
+/// the shell's cycle model. Data containers use single precision (the
+/// frontend casts on store when declared float32); timing assumes
+/// 4-byte elements regardless, matching the paper's FPGA configuration.
+FpgaRunResult run_fpga(const ir::SDFG& sdfg, rt::Bindings& args,
+                       const sym::SymbolMap& symbols, const FpgaModel& model);
+
+}  // namespace dace::fpga

@@ -1,0 +1,71 @@
+// FIFO stream channels for spatial (FPGA) dataflow.
+//
+// StreamingComposition (Section 3.1) restructures FPGA programs into
+// pipelined processing elements connected by FIFO streams; burst memory
+// readers/writers move DRAM data through these channels.  This class is
+// the runtime realization: a bounded single-producer single-consumer
+// queue.  The FPGA executor's cost model treats each pipeline stage's
+// push/pop rate as its initiation interval.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "common/common.hpp"
+
+namespace dace::fpga {
+
+class Stream {
+ public:
+  explicit Stream(int64_t depth) : depth_(depth) {
+    DACE_CHECK(depth > 0, "stream: non-positive depth");
+  }
+
+  /// Blocking push (backpressure when the FIFO is full).
+  void push(double v) {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_pop_.wait(lk, [&] { return (int64_t)q_.size() < depth_; });
+    q_.push_back(v);
+    ++pushes_;
+    cv_push_.notify_one();
+  }
+
+  /// Blocking pop (stalls when the FIFO is empty).
+  double pop() {
+    std::unique_lock<std::mutex> lk(mu_);
+    cv_push_.wait(lk, [&] { return !q_.empty(); });
+    double v = q_.front();
+    q_.pop_front();
+    cv_pop_.notify_one();
+    return v;
+  }
+
+  bool try_pop(double* out) {
+    std::lock_guard<std::mutex> lk(mu_);
+    if (q_.empty()) return false;
+    *out = q_.front();
+    q_.pop_front();
+    cv_pop_.notify_one();
+    return true;
+  }
+
+  int64_t size() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return (int64_t)q_.size();
+  }
+  int64_t depth() const { return depth_; }
+  int64_t total_pushes() const {
+    std::lock_guard<std::mutex> lk(mu_);
+    return pushes_;
+  }
+
+ private:
+  int64_t depth_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_push_, cv_pop_;
+  std::deque<double> q_;
+  int64_t pushes_ = 0;
+};
+
+}  // namespace dace::fpga

@@ -1,0 +1,55 @@
+#include "frontend/ast.hpp"
+
+#include "common/common.hpp"
+
+namespace dace::fe {
+
+const Function& Module::function(const std::string& name) const {
+  for (const auto& f : functions) {
+    if (f.name == name) return f;
+  }
+  throw err("module: no @dace.program named '", name, "'");
+}
+
+ExprPtr make_num(double v, int line) {
+  auto e = std::make_shared<ExprNode>();
+  e->kind = ExKind::Num;
+  e->num = v;
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_int(int64_t v, int line) {
+  auto e = make_num(static_cast<double>(v), line);
+  e->num_is_int = true;
+  e->inum = v;
+  return e;
+}
+
+ExprPtr make_name(std::string n, int line) {
+  auto e = std::make_shared<ExprNode>();
+  e->kind = ExKind::Name;
+  e->name = std::move(n);
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_binop(std::string op, ExprPtr a, ExprPtr b, int line) {
+  auto e = std::make_shared<ExprNode>();
+  e->kind = ExKind::BinOp;
+  e->name = std::move(op);
+  e->args = {std::move(a), std::move(b)};
+  e->line = line;
+  return e;
+}
+
+ExprPtr make_unop(std::string op, ExprPtr a, int line) {
+  auto e = std::make_shared<ExprNode>();
+  e->kind = ExKind::UnOp;
+  e->name = std::move(op);
+  e->args = {std::move(a)};
+  e->line = line;
+  return e;
+}
+
+}  // namespace dace::fe

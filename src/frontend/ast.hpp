@@ -1,0 +1,107 @@
+// Abstract syntax tree of DaCeLang, the annotated Python subset.
+//
+// DaCeLang is the C++ stand-in for the paper's `@dace.program`-decorated
+// Python functions: indentation-based syntax, NumPy-style array
+// expressions with slicing and broadcasting, `@` matrix products,
+// `dace.float64[N, N]` type annotations, `range` loops, `dace.map`
+// parallel loops, and `dace.comm.*` explicit communication.  The parser
+// (parser.hpp) produces this AST; lowering.hpp translates it to SDFGs
+// following Table 1 of the paper, and the eager interpreter
+// (runtime/eager_interpreter.hpp) executes it directly as the NumPy
+// baseline.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ir/types.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace dace::fe {
+
+struct ExprNode;
+using ExprPtr = std::shared_ptr<ExprNode>;
+struct StmtNode;
+using StmtPtr = std::shared_ptr<StmtNode>;
+
+enum class ExKind {
+  Num,        // numeric literal
+  Name,       // identifier, possibly dotted: "np.sqrt", "dace.comm.Isend"
+  BinOp,      // args[0] op args[1]; op in + - * / ** @ % // < <= > >= == != and or
+  UnOp,       // op args[0]; op in - not
+  Call,       // base(args..., kwargs...)
+  Subscript,  // base[slices...]
+  Tuple,      // (args...)
+};
+
+/// One component of a subscript: either a single index expression or a
+/// slice begin:end:step with optional parts.
+struct SliceItem {
+  bool is_index = false;
+  ExprPtr index;                 // when is_index
+  ExprPtr begin, end, step;      // any may be null (defaults)
+};
+
+struct ExprNode {
+  ExKind kind = ExKind::Num;
+  int line = 0;
+
+  double num = 0;                // Num
+  bool num_is_int = false;
+  int64_t inum = 0;
+
+  std::string name;              // Name (dotted), BinOp/UnOp operator
+  ExprPtr base;                  // Call callee / Subscript base
+  std::vector<ExprPtr> args;     // operands / call args / tuple elems
+  std::vector<std::pair<std::string, ExprPtr>> kwargs;  // call keywords
+  std::vector<SliceItem> slices; // Subscript
+};
+
+enum class StKind { Assign, AugAssign, For, If, While, ExprStmt, Pass };
+
+struct StmtNode {
+  StKind kind = StKind::Pass;
+  int line = 0;
+
+  ExprPtr target;                // Assign/AugAssign LHS
+  ExprPtr value;                 // Assign/AugAssign RHS, ExprStmt expression
+  std::string aug_op;            // AugAssign: "+" "-" "*" "/"
+
+  std::vector<std::string> loop_vars;  // For
+  ExprPtr iter;                        // For: range(...) or dace.map[...]
+  ExprPtr cond;                        // If / While condition
+  std::vector<StmtPtr> body;
+  std::vector<StmtPtr> orelse;
+};
+
+/// Function parameter with its static symbolic type annotation
+/// (Section 2.2: static symbolic typing for AOT compilation).
+struct Param {
+  std::string name;
+  ir::DType dtype = ir::DType::f64;
+  std::vector<sym::Expr> shape;  // empty = scalar
+};
+
+struct Function {
+  std::string name;
+  std::vector<Param> params;
+  std::vector<StmtPtr> body;
+  bool auto_optimize = false;            // @dace.program(auto_optimize=True)
+  std::optional<ir::DeviceType> device;  // ..., device=DeviceType.GPU
+};
+
+struct Module {
+  std::vector<Function> functions;
+  const Function& function(const std::string& name) const;
+};
+
+// Convenience constructors used by the parser and tests.
+ExprPtr make_num(double v, int line);
+ExprPtr make_int(int64_t v, int line);
+ExprPtr make_name(std::string n, int line);
+ExprPtr make_binop(std::string op, ExprPtr a, ExprPtr b, int line);
+ExprPtr make_unop(std::string op, ExprPtr a, int line);
+
+}  // namespace dace::fe

@@ -1,0 +1,155 @@
+#include "frontend/lexer.hpp"
+
+#include <cctype>
+
+namespace dace::fe {
+
+namespace {
+bool is_ident_start(char c) { return std::isalpha((unsigned char)c) || c == '_'; }
+bool is_ident(char c) { return std::isalnum((unsigned char)c) || c == '_'; }
+}  // namespace
+
+std::vector<Token> tokenize(const std::string& src) {
+  std::vector<Token> out;
+  std::vector<int> indents{0};
+  size_t i = 0;
+  int line = 1;
+  int bracket_depth = 0;
+  bool at_line_start = true;
+
+  auto push = [&](Tok k, std::string text = {}) {
+    Token t;
+    t.kind = k;
+    t.text = std::move(text);
+    t.line = line;
+    out.push_back(std::move(t));
+  };
+
+  while (i < src.size()) {
+    if (at_line_start && bracket_depth == 0) {
+      // Measure indentation; skip blank/comment-only lines entirely.
+      size_t j = i;
+      int col = 0;
+      while (j < src.size() && (src[j] == ' ' || src[j] == '\t')) {
+        col += (src[j] == '\t') ? 8 : 1;
+        ++j;
+      }
+      if (j >= src.size()) break;
+      if (src[j] == '\n') {
+        i = j + 1;
+        ++line;
+        continue;
+      }
+      if (src[j] == '#') {
+        while (j < src.size() && src[j] != '\n') ++j;
+        i = (j < src.size()) ? j + 1 : j;
+        ++line;
+        continue;
+      }
+      if (col > indents.back()) {
+        indents.push_back(col);
+        push(Tok::Indent);
+      } else {
+        while (col < indents.back()) {
+          indents.pop_back();
+          push(Tok::Dedent);
+        }
+        DACE_CHECK(col == indents.back(), "lex: inconsistent indentation at line ",
+                   line);
+      }
+      i = j;
+      at_line_start = false;
+      continue;
+    }
+
+    char c = src[i];
+    if (c == '\n') {
+      ++i;
+      ++line;
+      if (bracket_depth == 0) {
+        push(Tok::Newline);
+        at_line_start = true;
+      }
+      continue;
+    }
+    if (c == ' ' || c == '\t' || c == '\r') {
+      ++i;
+      continue;
+    }
+    if (c == '#') {
+      while (i < src.size() && src[i] != '\n') ++i;
+      continue;
+    }
+    if (c == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
+      i += 2;
+      ++line;
+      continue;
+    }
+    if (is_ident_start(c)) {
+      size_t j = i;
+      while (j < src.size() && is_ident(src[j])) ++j;
+      push(Tok::Name, src.substr(i, j - i));
+      i = j;
+      continue;
+    }
+    if (std::isdigit((unsigned char)c) ||
+        (c == '.' && i + 1 < src.size() &&
+         std::isdigit((unsigned char)src[i + 1]))) {
+      size_t j = i;
+      bool is_float = false;
+      while (j < src.size() &&
+             (std::isdigit((unsigned char)src[j]) || src[j] == '.' ||
+              src[j] == 'e' || src[j] == 'E' ||
+              ((src[j] == '+' || src[j] == '-') && j > i &&
+               (src[j - 1] == 'e' || src[j - 1] == 'E')))) {
+        if (src[j] == '.' || src[j] == 'e' || src[j] == 'E') is_float = true;
+        ++j;
+      }
+      std::string text = src.substr(i, j - i);
+      Token t;
+      t.kind = Tok::Number;
+      t.line = line;
+      t.text = text;
+      t.num = std::stod(text);
+      if (!is_float) {
+        t.num_is_int = true;
+        t.inum = std::stoll(text);
+      }
+      out.push_back(std::move(t));
+      i = j;
+      continue;
+    }
+    // Multi-character operators first.
+    static const char* two_char[] = {"**", "//", "==", "!=", "<=", ">=",
+                                     "+=", "-=", "*=", "/=", "->"};
+    bool matched = false;
+    for (const char* op : two_char) {
+      if (src.compare(i, 2, op) == 0) {
+        push(Tok::Op, op);
+        i += 2;
+        matched = true;
+        break;
+      }
+    }
+    if (matched) continue;
+    static const std::string single = "+-*/@%<>=()[]{},.:;";
+    if (single.find(c) != std::string::npos) {
+      if (c == '(' || c == '[' || c == '{') ++bracket_depth;
+      if (c == ')' || c == ']' || c == '}') --bracket_depth;
+      push(Tok::Op, std::string(1, c));
+      ++i;
+      continue;
+    }
+    throw err("lex: unexpected character '", std::string(1, c), "' at line ",
+              line);
+  }
+  if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
+  while (indents.size() > 1) {
+    indents.pop_back();
+    push(Tok::Dedent);
+  }
+  push(Tok::EndOfFile);
+  return out;
+}
+
+}  // namespace dace::fe

@@ -1,0 +1,31 @@
+// Indentation-aware tokenizer for DaCeLang.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/common.hpp"
+
+namespace dace::fe {
+
+enum class Tok {
+  Name, Number, Newline, Indent, Dedent, EndOfFile,
+  // punctuation / operators (lexeme carried in text)
+  Op,
+};
+
+struct Token {
+  Tok kind = Tok::EndOfFile;
+  std::string text;   // identifier / operator lexeme
+  double num = 0;     // Number value
+  bool num_is_int = false;
+  int64_t inum = 0;
+  int line = 0;
+};
+
+/// Tokenize a DaCeLang source string.  Emits Newline at logical line ends
+/// and Indent/Dedent at block boundaries; blank lines and '#' comments are
+/// skipped; brackets suppress newlines (implicit line joining).
+std::vector<Token> tokenize(const std::string& source);
+
+}  // namespace dace::fe

@@ -1,0 +1,26 @@
+// AST -> SDFG translation (Section 2.3, Table 1 of the paper).
+//
+// Produces the direct, control-centric translation ("-O0"): one state per
+// statement/operation, element-wise array operations as map scopes with
+// tasklets, `@` and reductions as library nodes, control flow on
+// interstate edges, and WCR memlets where augmented assignments race.
+// The dataflow-coarsening pass (transforms/simplify.hpp) then exposes the
+// data-centric view.
+#pragma once
+
+#include <memory>
+
+#include "frontend/ast.hpp"
+#include "ir/sdfg.hpp"
+
+namespace dace::fe {
+
+/// Lower one parsed function to an SDFG.
+std::unique_ptr<ir::SDFG> lower_to_sdfg(const Function& f);
+
+/// Convenience: parse `source` and lower the function named `name`
+/// (or the first function if empty).
+std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
+                                          const std::string& name = "");
+
+}  // namespace dace::fe

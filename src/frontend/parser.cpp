@@ -1,0 +1,489 @@
+#include "frontend/parser.hpp"
+
+#include <functional>
+
+#include "frontend/lexer.hpp"
+
+namespace dace::fe {
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+
+  Module parse_module() {
+    Module m;
+    skip_newlines();
+    while (!at(Tok::EndOfFile)) {
+      m.functions.push_back(parse_decorated_function());
+      skip_newlines();
+    }
+    return m;
+  }
+
+  ExprPtr parse_single_expression() {
+    ExprPtr e = parse_expr();
+    return e;
+  }
+
+ private:
+  // -- token stream helpers --------------------------------------------------
+  const Token& cur() const { return toks_[pos_]; }
+  const Token& peek(int k = 1) const {
+    return toks_[std::min(pos_ + k, toks_.size() - 1)];
+  }
+  bool at(Tok k) const { return cur().kind == k; }
+  bool at_op(const std::string& text) const {
+    return cur().kind == Tok::Op && cur().text == text;
+  }
+  bool at_name(const std::string& text) const {
+    return cur().kind == Tok::Name && cur().text == text;
+  }
+  Token advance() { return toks_[pos_++]; }
+  Token expect(Tok k, const std::string& what) {
+    DACE_CHECK(at(k), "parse: expected ", what, " at line ", cur().line,
+               ", got '", cur().text, "'");
+    return advance();
+  }
+  void expect_op(const std::string& text) {
+    DACE_CHECK(at_op(text), "parse: expected '", text, "' at line ",
+               cur().line, ", got '", cur().text, "'");
+    advance();
+  }
+  void expect_name(const std::string& text) {
+    DACE_CHECK(at_name(text), "parse: expected '", text, "' at line ",
+               cur().line, ", got '", cur().text, "'");
+    advance();
+  }
+  void skip_newlines() {
+    while (at(Tok::Newline)) advance();
+  }
+
+  // -- functions ---------------------------------------------------------------
+  Function parse_decorated_function() {
+    bool auto_opt = false;
+    std::optional<ir::DeviceType> device;
+    // Optional decorator: @dace.program or @dace.program(kwargs)
+    if (at_op("@")) {
+      advance();
+      std::string dec = parse_dotted_name();
+      DACE_CHECK(dec == "dace.program",
+                 "parse: unsupported decorator '@", dec, "' at line ",
+                 cur().line);
+      if (at_op("(")) {
+        advance();
+        while (!at_op(")")) {
+          std::string key = expect(Tok::Name, "keyword").text;
+          expect_op("=");
+          if (key == "auto_optimize") {
+            std::string v = expect(Tok::Name, "True/False").text;
+            auto_opt = (v == "True");
+          } else if (key == "device") {
+            std::string v = parse_dotted_name();
+            if (v == "DeviceType.CPU" || v == "dace.DeviceType.CPU") {
+              device = ir::DeviceType::CPU;
+            } else if (v == "DeviceType.GPU" || v == "dace.DeviceType.GPU") {
+              device = ir::DeviceType::GPU;
+            } else if (v == "DeviceType.FPGA" || v == "dace.DeviceType.FPGA") {
+              device = ir::DeviceType::FPGA;
+            } else {
+              throw err("parse: unknown device '", v, "' at line ", cur().line);
+            }
+          } else {
+            throw err("parse: unknown decorator keyword '", key, "'");
+          }
+          if (at_op(",")) advance();
+        }
+        expect_op(")");
+      }
+      expect(Tok::Newline, "newline after decorator");
+      skip_newlines();
+    }
+    expect_name("def");
+    Function f;
+    f.auto_optimize = auto_opt;
+    f.device = device;
+    f.name = expect(Tok::Name, "function name").text;
+    expect_op("(");
+    while (!at_op(")")) {
+      Param p;
+      p.name = expect(Tok::Name, "parameter name").text;
+      expect_op(":");
+      parse_type_annotation(p);
+      f.params.push_back(std::move(p));
+      if (at_op(",")) advance();
+    }
+    expect_op(")");
+    expect_op(":");
+    expect(Tok::Newline, "newline after def");
+    f.body = parse_block();
+    return f;
+  }
+
+  void parse_type_annotation(Param& p) {
+    std::string t = parse_dotted_name();
+    if (t == "dace.float64") {
+      p.dtype = ir::DType::f64;
+    } else if (t == "dace.float32") {
+      p.dtype = ir::DType::f32;
+    } else if (t == "dace.int64") {
+      p.dtype = ir::DType::i64;
+    } else if (t == "dace.int32") {
+      p.dtype = ir::DType::i32;
+    } else {
+      throw err("parse: unknown type annotation '", t, "' at line ",
+                cur().line);
+    }
+    if (at_op("[")) {
+      advance();
+      while (!at_op("]")) {
+        ExprPtr dim = parse_expr();
+        p.shape.push_back(expr_to_symbolic(dim));
+        if (at_op(",")) advance();
+      }
+      expect_op("]");
+    }
+  }
+
+  /// Convert a shape-annotation expression to a symbolic expression.
+  sym::Expr expr_to_symbolic(const ExprPtr& e) {
+    switch (e->kind) {
+      case ExKind::Num:
+        DACE_CHECK(e->num_is_int, "parse: non-integer shape at line ", e->line);
+        return sym::Expr(e->inum);
+      case ExKind::Name:
+        return sym::Expr::symbol(e->name);
+      case ExKind::BinOp: {
+        sym::Expr a = expr_to_symbolic(e->args[0]);
+        sym::Expr b = expr_to_symbolic(e->args[1]);
+        if (e->name == "+") return a + b;
+        if (e->name == "-") return a - b;
+        if (e->name == "*") return a * b;
+        if (e->name == "//") return sym::floordiv(a, b);
+        if (e->name == "%") return sym::mod(a, b);
+        throw err("parse: unsupported shape operator '", e->name, "'");
+      }
+      case ExKind::UnOp:
+        if (e->name == "-") return -expr_to_symbolic(e->args[0]);
+        throw err("parse: unsupported shape operator");
+      default:
+        throw err("parse: unsupported shape expression at line ", e->line);
+    }
+  }
+
+  // -- statements ---------------------------------------------------------------
+  std::vector<StmtPtr> parse_block() {
+    expect(Tok::Indent, "indented block");
+    std::vector<StmtPtr> body;
+    skip_newlines();
+    while (!at(Tok::Dedent) && !at(Tok::EndOfFile)) {
+      body.push_back(parse_statement());
+      skip_newlines();
+    }
+    expect(Tok::Dedent, "dedent");
+    DACE_CHECK(!body.empty(), "parse: empty block");
+    return body;
+  }
+
+  StmtPtr parse_statement() {
+    auto st = std::make_shared<StmtNode>();
+    st->line = cur().line;
+    if (at_name("for")) return parse_for();
+    if (at_name("if")) return parse_if();
+    if (at_name("while")) return parse_while();
+    if (at_name("pass")) {
+      advance();
+      expect(Tok::Newline, "newline");
+      st->kind = StKind::Pass;
+      return st;
+    }
+    DACE_CHECK(!at_name("return"),
+               "parse: 'return' is not supported; write results into output "
+               "arguments (line ", cur().line, ")");
+    // Expression / assignment statement.
+    ExprPtr target = parse_expr();
+    if (at_op("=")) {
+      advance();
+      st->kind = StKind::Assign;
+      st->target = target;
+      st->value = parse_expr();
+    } else if (at_op("+=") || at_op("-=") || at_op("*=") || at_op("/=")) {
+      std::string op = advance().text;
+      st->kind = StKind::AugAssign;
+      st->aug_op = op.substr(0, 1);
+      st->target = target;
+      st->value = parse_expr();
+    } else {
+      st->kind = StKind::ExprStmt;
+      st->value = target;
+    }
+    expect(Tok::Newline, "newline after statement");
+    return st;
+  }
+
+  StmtPtr parse_for() {
+    auto st = std::make_shared<StmtNode>();
+    st->kind = StKind::For;
+    st->line = cur().line;
+    expect_name("for");
+    st->loop_vars.push_back(expect(Tok::Name, "loop variable").text);
+    while (at_op(",")) {
+      advance();
+      st->loop_vars.push_back(expect(Tok::Name, "loop variable").text);
+    }
+    expect_name("in");
+    st->iter = parse_expr();
+    expect_op(":");
+    expect(Tok::Newline, "newline after for");
+    st->body = parse_block();
+    return st;
+  }
+
+  StmtPtr parse_if() {
+    auto st = std::make_shared<StmtNode>();
+    st->kind = StKind::If;
+    st->line = cur().line;
+    advance();  // if / elif
+    st->cond = parse_expr();
+    expect_op(":");
+    expect(Tok::Newline, "newline after if");
+    st->body = parse_block();
+    skip_newlines();
+    if (at_name("elif")) {
+      st->orelse.push_back(parse_if());
+    } else if (at_name("else")) {
+      advance();
+      expect_op(":");
+      expect(Tok::Newline, "newline after else");
+      st->orelse = parse_block();
+    }
+    return st;
+  }
+
+  StmtPtr parse_while() {
+    auto st = std::make_shared<StmtNode>();
+    st->kind = StKind::While;
+    st->line = cur().line;
+    expect_name("while");
+    st->cond = parse_expr();
+    expect_op(":");
+    expect(Tok::Newline, "newline after while");
+    st->body = parse_block();
+    return st;
+  }
+
+  // -- expressions ----------------------------------------------------------
+  // Precedence climbing: or < and < not < cmp < +- < */@%// < unary < ** <
+  // postfix.
+  ExprPtr parse_expr() { return parse_or(); }
+
+  ExprPtr parse_or() {
+    ExprPtr e = parse_and();
+    while (at_name("or")) {
+      int line = advance().line;
+      e = make_binop("or", e, parse_and(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_and() {
+    ExprPtr e = parse_not();
+    while (at_name("and")) {
+      int line = advance().line;
+      e = make_binop("and", e, parse_not(), line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_not() {
+    if (at_name("not")) {
+      int line = advance().line;
+      return make_unop("not", parse_not(), line);
+    }
+    return parse_comparison();
+  }
+
+  ExprPtr parse_comparison() {
+    ExprPtr e = parse_additive();
+    while (at_op("<") || at_op("<=") || at_op(">") || at_op(">=") ||
+           at_op("==") || at_op("!=")) {
+      Token t = advance();
+      e = make_binop(t.text, e, parse_additive(), t.line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_additive() {
+    ExprPtr e = parse_multiplicative();
+    while (at_op("+") || at_op("-")) {
+      Token t = advance();
+      e = make_binop(t.text, e, parse_multiplicative(), t.line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_multiplicative() {
+    ExprPtr e = parse_unary();
+    while (at_op("*") || at_op("/") || at_op("@") || at_op("%") ||
+           at_op("//")) {
+      Token t = advance();
+      e = make_binop(t.text, e, parse_unary(), t.line);
+    }
+    return e;
+  }
+
+  ExprPtr parse_unary() {
+    if (at_op("-")) {
+      int line = advance().line;
+      return make_unop("-", parse_unary(), line);
+    }
+    if (at_op("+")) {
+      advance();
+      return parse_unary();
+    }
+    return parse_power();
+  }
+
+  ExprPtr parse_power() {
+    ExprPtr e = parse_postfix();
+    if (at_op("**")) {
+      int line = advance().line;
+      return make_binop("**", e, parse_unary(), line);  // right-assoc
+    }
+    return e;
+  }
+
+  std::string parse_dotted_name() {
+    std::string name = expect(Tok::Name, "name").text;
+    while (at_op(".") && peek().kind == Tok::Name) {
+      advance();
+      name += "." + advance().text;
+    }
+    return name;
+  }
+
+  ExprPtr parse_postfix() {
+    ExprPtr e = parse_atom();
+    for (;;) {
+      if (at_op("(")) {
+        int line = advance().line;
+        auto call = std::make_shared<ExprNode>();
+        call->kind = ExKind::Call;
+        call->line = line;
+        call->base = e;
+        while (!at_op(")")) {
+          if (cur().kind == Tok::Name && peek().kind == Tok::Op &&
+              peek().text == "=" ) {
+            std::string key = advance().text;
+            advance();  // '='
+            call->kwargs.emplace_back(key, parse_expr());
+          } else {
+            call->args.push_back(parse_expr());
+          }
+          if (at_op(",")) advance();
+        }
+        expect_op(")");
+        e = call;
+      } else if (at_op("[")) {
+        int line = advance().line;
+        auto sub = std::make_shared<ExprNode>();
+        sub->kind = ExKind::Subscript;
+        sub->line = line;
+        sub->base = e;
+        while (!at_op("]")) {
+          sub->slices.push_back(parse_slice_item());
+          if (at_op(",")) advance();
+        }
+        expect_op("]");
+        e = sub;
+      } else if (at_op(".") && peek().kind == Tok::Name) {
+        // Attribute access: fold into dotted Name when base is a Name
+        // (module paths like np.sqrt); method-style attributes (A.dtype)
+        // also become dotted names resolved by the consumer.
+        advance();
+        std::string attr = advance().text;
+        DACE_CHECK(e->kind == ExKind::Name,
+                   "parse: attribute on non-name at line ", cur().line);
+        e = make_name(e->name + "." + attr, e->line);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  SliceItem parse_slice_item() {
+    SliceItem item;
+    // Forms: expr | [expr] : [expr] [: [expr]]
+    if (!at_op(":")) {
+      ExprPtr first = parse_expr();
+      if (!at_op(":")) {
+        item.is_index = true;
+        item.index = first;
+        return item;
+      }
+      item.begin = first;
+    }
+    expect_op(":");
+    if (!at_op(":") && !at_op("]") && !at_op(",")) item.end = parse_expr();
+    if (at_op(":")) {
+      advance();
+      if (!at_op("]") && !at_op(",")) item.step = parse_expr();
+    }
+    return item;
+  }
+
+  ExprPtr parse_atom() {
+    if (at(Tok::Number)) {
+      Token t = advance();
+      return t.num_is_int ? make_int(t.inum, t.line) : make_num(t.num, t.line);
+    }
+    if (at(Tok::Name)) {
+      if (at_name("True") || at_name("False")) {
+        Token t = advance();
+        return make_int(t.text == "True" ? 1 : 0, t.line);
+      }
+      int line = cur().line;
+      std::string name = parse_dotted_name();
+      return make_name(name, line);
+    }
+    if (at_op("(")) {
+      int line = advance().line;
+      ExprPtr first = parse_expr();
+      if (at_op(",")) {
+        auto tup = std::make_shared<ExprNode>();
+        tup->kind = ExKind::Tuple;
+        tup->line = line;
+        tup->args.push_back(first);
+        while (at_op(",")) {
+          advance();
+          if (at_op(")")) break;
+          tup->args.push_back(parse_expr());
+        }
+        expect_op(")");
+        return tup;
+      }
+      expect_op(")");
+      return first;
+    }
+    throw err("parse: unexpected token '", cur().text, "' at line ",
+              cur().line);
+  }
+
+  std::vector<Token> toks_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Module parse(const std::string& source) {
+  Parser p(tokenize(source));
+  return p.parse_module();
+}
+
+ExprPtr parse_expression(const std::string& source) {
+  Parser p(tokenize(source));
+  return p.parse_single_expression();
+}
+
+}  // namespace dace::fe

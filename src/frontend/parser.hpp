@@ -1,0 +1,19 @@
+// Recursive-descent parser for DaCeLang.
+//
+// Accepts a module of `@dace.program`-decorated function definitions and
+// produces the AST of ast.hpp.  Shape annotations are converted to
+// symbolic expressions; undeclared names in shapes become SDFG symbols
+// (the paper's `dace.symbol`).
+#pragma once
+
+#include "frontend/ast.hpp"
+
+namespace dace::fe {
+
+/// Parse a DaCeLang module. Throws dace::Error with line info on failure.
+Module parse(const std::string& source);
+
+/// Parse a single expression (for tests and interstate conditions).
+ExprPtr parse_expression(const std::string& source);
+
+}  // namespace dace::fe

@@ -1,0 +1,49 @@
+#include "gpu/cupy_like.hpp"
+
+namespace dace::gpu {
+
+namespace {
+
+class CupyObserver final : public rt::EagerObserver {
+ public:
+  explicit CupyObserver(const GpuModel& model) : model_(model) {}
+
+  void on_op(const std::string& kind, int64_t out_elems, int64_t in_elems,
+             int64_t flops) override {
+    if (kind == "alloc") {
+      // Device pool allocation only.
+      result.kernel_time_s += model_.alloc_cost_s;
+      return;
+    }
+    rt::VMStats d;
+    d.loads = (uint64_t)in_elems;
+    d.stores = (uint64_t)out_elems;
+    d.flops = (uint64_t)flops;
+    result.kernel_time_s += model_.kernel_time(d) + model_.dispatch_cost_s +
+                            model_.alloc_cost_s;
+    result.stats += d;
+    ++result.kernels;
+  }
+
+  const GpuModel& model_;
+  GpuRunResult result;
+};
+
+}  // namespace
+
+GpuRunResult run_cupy(const fe::Function& f, rt::Bindings& args,
+                      const sym::SymbolMap& symbols, const GpuModel& model) {
+  CupyObserver obs(model);
+  rt::EagerInterpreter interp(f, &obs);
+  interp.run(args, symbols);
+  GpuRunResult res = obs.result;
+  for (const auto& p : f.params) {
+    if (p.shape.empty() && ir::dtype_is_integer(p.dtype)) continue;
+    auto it = args.find(p.name);
+    if (it == args.end()) continue;
+    res.transfer_time_s += 2 * model.transfer_time(it->second.size() * 8);
+  }
+  return res;
+}
+
+}  // namespace dace::gpu

@@ -1,0 +1,21 @@
+// CuPy-like baseline: eager per-operation execution on the simulated GPU.
+//
+// Each NumPy-level operation becomes one device kernel launch with full
+// global-memory traffic for its operands and a fresh device temporary for
+// its result, plus host-side dispatch overhead -- the execution model of
+// CuPy (Fig. 8's comparison point).  Results are computed for real by the
+// eager interpreter; the device model charges simulated time.
+#pragma once
+
+#include "frontend/ast.hpp"
+#include "gpu/gpu_model.hpp"
+#include "runtime/eager_interpreter.hpp"
+
+namespace dace::gpu {
+
+/// Run a DaCeLang function CuPy-style on the simulated device.
+GpuRunResult run_cupy(const fe::Function& f, rt::Bindings& args,
+                      const sym::SymbolMap& symbols,
+                      const GpuModel& model = GpuModel());
+
+}  // namespace dace::gpu

@@ -1,0 +1,25 @@
+#include "gpu/gpu_executor.hpp"
+
+namespace dace::gpu {
+
+GpuRunResult run_gpu(const ir::SDFG& sdfg, rt::Bindings& args,
+                     const sym::SymbolMap& symbols, const GpuModel& model) {
+  GpuRunResult res;
+  rt::ExecutorOptions opts;
+  opts.launch_hook = [&](const std::string& kind, const rt::VMStats& d) {
+    (void)kind;
+    res.kernel_time_s += model.kernel_time(d);
+    ++res.kernels;
+  };
+  rt::Executor ex(sdfg, opts);
+  ex.run(args, symbols);
+  res.stats = ex.stats();
+  // Argument transfers (copy-in at SDFG start, copy-out at the end).
+  for (const auto& an : sdfg.arg_names()) {
+    int64_t bytes = args.at(an).size() * 8;
+    res.transfer_time_s += 2 * model.transfer_time(bytes);
+  }
+  return res;
+}
+
+}  // namespace dace::gpu

@@ -1,0 +1,18 @@
+// Executes a GPU-optimized SDFG on the simulated device.
+#pragma once
+
+#include "gpu/gpu_model.hpp"
+#include "ir/sdfg.hpp"
+#include "runtime/executor.hpp"
+
+namespace dace::gpu {
+
+/// Run `sdfg` (auto-optimized for DeviceType::GPU) on the simulated
+/// device: computes real results into `args` and returns the modeled
+/// device timing. Host<->device transfers are charged for every argument
+/// in both directions, matching explicit copy-in/copy-out codegen.
+GpuRunResult run_gpu(const ir::SDFG& sdfg, rt::Bindings& args,
+                     const sym::SymbolMap& symbols,
+                     const GpuModel& model = GpuModel());
+
+}  // namespace dace::gpu

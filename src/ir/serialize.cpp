@@ -1,0 +1,141 @@
+// SDFG rendering: Graphviz for human inspection, a stable text dump for
+// golden tests and debugging.
+#include <sstream>
+
+#include "ir/sdfg.hpp"
+
+namespace dace::ir {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+const char* node_shape(NodeKind k) {
+  switch (k) {
+    case NodeKind::Access: return "ellipse";
+    case NodeKind::Tasklet: return "octagon";
+    case NodeKind::MapEntry: return "trapezium";
+    case NodeKind::MapExit: return "invtrapezium";
+    case NodeKind::Library: return "folder";
+    case NodeKind::NestedSDFG: return "box";
+  }
+  return "box";
+}
+
+}  // namespace
+
+std::string SDFG::to_dot() const {
+  std::ostringstream os;
+  os << "digraph " << quote(name_) << " {\n";
+  os << "  compound=true;\n";
+  for (int sid : state_ids()) {
+    const State& st = state(sid);
+    os << "  subgraph cluster_s" << sid << " {\n";
+    os << "    label=" << quote(st.label()) << ";\n";
+    os << "    style=filled; color=lightblue;\n";
+    for (int nid : st.node_ids()) {
+      const Node* n = st.node(nid);
+      os << "    s" << sid << "n" << nid << " [label="
+         << quote(n->label()) << ", shape=" << node_shape(n->kind) << "];\n";
+    }
+    // A state needs at least one node for cluster edges to anchor.
+    if (st.node_ids().empty()) {
+      os << "    s" << sid << "anchor [label=\"\", shape=point];\n";
+    }
+    for (const auto& e : st.edges()) {
+      os << "    s" << sid << "n" << e.src << " -> s" << sid << "n" << e.dst
+         << " [label=" << quote(e.memlet.to_string());
+      if (e.memlet.wcr != WCR::None) os << ", style=dashed";
+      os << "];\n";
+    }
+    os << "  }\n";
+  }
+  for (const auto& e : istate_edges_) {
+    auto anchor = [&](int sid) {
+      const State& st = state(sid);
+      auto ids = st.node_ids();
+      std::ostringstream a;
+      if (ids.empty()) {
+        a << "s" << sid << "anchor";
+      } else {
+        a << "s" << sid << "n" << ids.front();
+      }
+      return a.str();
+    };
+    os << "  " << anchor(e.src) << " -> " << anchor(e.dst)
+       << " [ltail=cluster_s" << e.src << ", lhead=cluster_s" << e.dst
+       << ", color=blue, label=" << quote(e.to_string()) << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string SDFG::dump() const {
+  std::ostringstream os;
+  os << "sdfg " << name_ << "\n";
+  for (const auto& [name, d] : arrays_) {
+    os << "  " << (d.transient ? "transient " : "array ") << name << ": "
+       << dtype_name(d.dtype) << "[";
+    for (size_t i = 0; i < d.shape.size(); ++i) {
+      if (i) os << ", ";
+      os << d.shape[i].to_string();
+    }
+    os << "]";
+    if (d.storage != Storage::Default) os << " @" << storage_name(d.storage);
+    if (d.lifetime == Lifetime::Persistent) os << " persistent";
+    if (d.is_stream) os << " stream(" << d.stream_depth << ")";
+    os << "\n";
+  }
+  for (int sid : state_order()) {
+    const State& st = state(sid);
+    os << "  state " << sid << " '" << st.label() << "'"
+       << (sid == start_state_ ? " (start)" : "") << "\n";
+    for (int nid : st.node_ids()) {
+      const Node* n = st.node(nid);
+      os << "    n" << nid << ": ";
+      switch (n->kind) {
+        case NodeKind::Access: os << "access "; break;
+        case NodeKind::Tasklet: os << "tasklet "; break;
+        case NodeKind::MapEntry: os << "map_entry "; break;
+        case NodeKind::MapExit: os << "map_exit "; break;
+        case NodeKind::Library: os << "library "; break;
+        case NodeKind::NestedSDFG: os << "nested "; break;
+      }
+      os << n->label();
+      if (const auto* t = dynamic_cast<const Tasklet*>(n)) {
+        os << " :: " << t->output << " = " << t->code.to_string();
+      } else if (const auto* m = dynamic_cast<const MapEntry*>(n)) {
+        os << " :: " << schedule_name(m->schedule);
+      } else if (const auto* l = dynamic_cast<const LibraryNode*>(n)) {
+        os << " :: impl=" << l->implementation;
+      }
+      os << "\n";
+    }
+    for (const auto& e : st.edges()) {
+      os << "    n" << e.src;
+      if (!e.src_conn.empty()) os << "." << e.src_conn;
+      os << " -> n" << e.dst;
+      if (!e.dst_conn.empty()) os << "." << e.dst_conn;
+      os << " : " << e.memlet.to_string() << "\n";
+    }
+  }
+  for (const auto& e : istate_edges_) {
+    os << "  edge " << e.src << " -> " << e.dst;
+    std::string s = e.to_string();
+    if (!s.empty()) os << " [" << s << "]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace dace::ir

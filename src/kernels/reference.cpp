@@ -1,0 +1,377 @@
+#include "kernels/reference.hpp"
+
+#include <cmath>
+#include <vector>
+
+namespace dace::kernels::ref {
+
+namespace {
+double* P(Bindings& b, const std::string& name) {
+  return b.at(name).data();
+}
+int64_t S(const Sym& s, const std::string& name) { return s.at(name); }
+}  // namespace
+
+void gemm(Bindings& b, const Sym& s) {
+  int64_t ni = S(s, "NI"), nj = S(s, "NJ"), nk = S(s, "NK");
+  double alpha = b.at("alpha").value(), beta = b.at("beta").value();
+  double* A = P(b, "A");
+  double* B = P(b, "B");
+  double* C = P(b, "C");
+  for (int64_t i = 0; i < ni; ++i) {
+    for (int64_t j = 0; j < nj; ++j) C[i * nj + j] *= beta;
+    for (int64_t k = 0; k < nk; ++k) {
+      double av = alpha * A[i * nk + k];
+      for (int64_t j = 0; j < nj; ++j) C[i * nj + j] += av * B[k * nj + j];
+    }
+  }
+}
+
+namespace {
+// out(m,n) = A(m,k) * B(k,n), accumulating into zeroed out.
+void mm(const double* A, const double* B, double* out, int64_t m, int64_t k,
+        int64_t n) {
+  for (int64_t i = 0; i < m * n; ++i) out[i] = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t l = 0; l < k; ++l) {
+      double av = A[i * k + l];
+      for (int64_t j = 0; j < n; ++j) out[i * n + j] += av * B[l * n + j];
+    }
+  }
+}
+}  // namespace
+
+void k2mm(Bindings& b, const Sym& s) {
+  int64_t ni = S(s, "NI"), nj = S(s, "NJ"), nk = S(s, "NK"), nl = S(s, "NL");
+  double alpha = b.at("alpha").value(), beta = b.at("beta").value();
+  std::vector<double> tmp((size_t)(ni * nj));
+  mm(P(b, "A"), P(b, "B"), tmp.data(), ni, nk, nj);
+  for (auto& v : tmp) v *= alpha;
+  double* C = P(b, "C");
+  double* D = P(b, "D");
+  for (int64_t i = 0; i < ni; ++i) {
+    for (int64_t j = 0; j < nl; ++j) {
+      double acc = beta * D[i * nl + j];
+      for (int64_t k = 0; k < nj; ++k)
+        acc += tmp[(size_t)(i * nj + k)] * C[k * nl + j];
+      D[i * nl + j] = acc;
+    }
+  }
+}
+
+void k3mm(Bindings& b, const Sym& s) {
+  int64_t ni = S(s, "NI"), nj = S(s, "NJ"), nk = S(s, "NK"), nl = S(s, "NL"),
+          nm = S(s, "NM");
+  std::vector<double> E((size_t)(ni * nj)), F((size_t)(nj * nl));
+  mm(P(b, "A"), P(b, "B"), E.data(), ni, nk, nj);
+  mm(P(b, "C"), P(b, "D"), F.data(), nj, nm, nl);
+  mm(E.data(), F.data(), P(b, "G"), ni, nj, nl);
+}
+
+void atax(Bindings& b, const Sym& s) {
+  int64_t m = S(s, "M"), n = S(s, "N");
+  double* A = P(b, "A");
+  double* x = P(b, "x");
+  double* y = P(b, "y");
+  std::vector<double> tmp((size_t)m, 0.0);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) tmp[(size_t)i] += A[i * n + j] * x[j];
+  }
+  for (int64_t j = 0; j < n; ++j) y[j] = 0;
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) y[j] += A[i * n + j] * tmp[(size_t)i];
+  }
+}
+
+void bicg(Bindings& b, const Sym& s) {
+  int64_t m = S(s, "M"), n = S(s, "N");
+  double* A = P(b, "A");  // (n, m)
+  double* p = P(b, "p");  // (m)
+  double* r = P(b, "r");  // (n)
+  double* q = P(b, "q");  // (n)
+  double* out_s = P(b, "s");  // (m)
+  for (int64_t j = 0; j < m; ++j) out_s[j] = 0;
+  for (int64_t i = 0; i < n; ++i) {
+    q[i] = 0;
+    for (int64_t j = 0; j < m; ++j) {
+      out_s[j] += r[i] * A[i * m + j];
+      q[i] += A[i * m + j] * p[j];
+    }
+  }
+}
+
+void mvt(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N");
+  double* A = P(b, "A");
+  double* x1 = P(b, "x1");
+  double* x2 = P(b, "x2");
+  double* y1 = P(b, "y1");
+  double* y2 = P(b, "y2");
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) x1[i] += A[i * n + j] * y1[j];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) x2[i] += A[j * n + i] * y2[j];
+  }
+}
+
+void gemver(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N");
+  double alpha = b.at("alpha").value(), beta = b.at("beta").value();
+  double* A = P(b, "A");
+  double* u1 = P(b, "u1");
+  double* v1 = P(b, "v1");
+  double* u2 = P(b, "u2");
+  double* v2 = P(b, "v2");
+  double* w = P(b, "w");
+  double* x = P(b, "x");
+  double* y = P(b, "y");
+  double* z = P(b, "z");
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j)
+      A[i * n + j] += u1[i] * v1[j] + u2[i] * v2[j];
+  }
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) x[i] += beta * A[j * n + i] * y[j];
+  }
+  for (int64_t i = 0; i < n; ++i) x[i] += z[i];
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) w[i] += alpha * A[i * n + j] * x[j];
+  }
+}
+
+void gesummv(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N");
+  double alpha = b.at("alpha").value(), beta = b.at("beta").value();
+  double* A = P(b, "A");
+  double* B = P(b, "B");
+  double* x = P(b, "x");
+  double* y = P(b, "y");
+  for (int64_t i = 0; i < n; ++i) {
+    double t = 0, u = 0;
+    for (int64_t j = 0; j < n; ++j) {
+      t += A[i * n + j] * x[j];
+      u += B[i * n + j] * x[j];
+    }
+    y[i] = alpha * t + beta * u;
+  }
+}
+
+void doitgen(Bindings& b, const Sym& s) {
+  int64_t nr = S(s, "NR"), nq = S(s, "NQ"), np = S(s, "NP");
+  double* A = P(b, "A");
+  double* C4 = P(b, "C4");
+  std::vector<double> sum((size_t)np);
+  for (int64_t r = 0; r < nr; ++r) {
+    for (int64_t q = 0; q < nq; ++q) {
+      double* row = A + (r * nq + q) * np;
+      for (int64_t p = 0; p < np; ++p) {
+        sum[(size_t)p] = 0;
+        for (int64_t k = 0; k < np; ++k)
+          sum[(size_t)p] += row[k] * C4[k * np + p];
+      }
+      for (int64_t p = 0; p < np; ++p) row[p] = sum[(size_t)p];
+    }
+  }
+}
+
+void jacobi_1d(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N"), tsteps = S(s, "TSTEPS");
+  double* A = P(b, "A");
+  double* B = P(b, "B");
+  for (int64_t t = 1; t < tsteps; ++t) {
+    for (int64_t i = 1; i < n - 1; ++i)
+      B[i] = 0.33333 * (A[i - 1] + A[i] + A[i + 1]);
+    for (int64_t i = 1; i < n - 1; ++i)
+      A[i] = 0.33333 * (B[i - 1] + B[i] + B[i + 1]);
+  }
+}
+
+void jacobi_2d(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N"), tsteps = S(s, "TSTEPS");
+  double* A = P(b, "A");
+  double* B = P(b, "B");
+  auto step = [&](double* src, double* dst) {
+    for (int64_t i = 1; i < n - 1; ++i) {
+      for (int64_t j = 1; j < n - 1; ++j) {
+        dst[i * n + j] = 0.2 * (src[i * n + j] + src[i * n + j - 1] +
+                                src[i * n + j + 1] + src[(i + 1) * n + j] +
+                                src[(i - 1) * n + j]);
+      }
+    }
+  };
+  for (int64_t t = 1; t < tsteps; ++t) {
+    step(A, B);
+    step(B, A);
+  }
+}
+
+void heat_3d(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N"), tsteps = S(s, "TSTEPS");
+  double* A = P(b, "A");
+  double* B = P(b, "B");
+  auto at = [&](double* X, int64_t i, int64_t j, int64_t k) -> double& {
+    return X[(i * n + j) * n + k];
+  };
+  auto step = [&](double* src, double* dst) {
+    for (int64_t i = 1; i < n - 1; ++i) {
+      for (int64_t j = 1; j < n - 1; ++j) {
+        for (int64_t k = 1; k < n - 1; ++k) {
+          at(dst, i, j, k) =
+              0.125 * (at(src, i + 1, j, k) - 2.0 * at(src, i, j, k) +
+                       at(src, i - 1, j, k)) +
+              0.125 * (at(src, i, j + 1, k) - 2.0 * at(src, i, j, k) +
+                       at(src, i, j - 1, k)) +
+              0.125 * (at(src, i, j, k + 1) - 2.0 * at(src, i, j, k) +
+                       at(src, i, j, k - 1)) +
+              at(src, i, j, k);
+        }
+      }
+    }
+  };
+  for (int64_t t = 1; t < tsteps; ++t) {
+    step(A, B);
+    step(B, A);
+  }
+}
+
+void fdtd_2d(Bindings& b, const Sym& s) {
+  int64_t nx = S(s, "NX"), ny = S(s, "NY"), tmax = S(s, "TMAX");
+  double* ex = P(b, "ex");
+  double* ey = P(b, "ey");
+  double* hz = P(b, "hz");
+  double* fict = P(b, "fict");
+  for (int64_t t = 0; t < tmax; ++t) {
+    for (int64_t j = 0; j < ny; ++j) ey[j] = fict[t];
+    for (int64_t i = 1; i < nx; ++i) {
+      for (int64_t j = 0; j < ny; ++j)
+        ey[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[(i - 1) * ny + j]);
+    }
+    for (int64_t i = 0; i < nx; ++i) {
+      for (int64_t j = 1; j < ny; ++j)
+        ex[i * ny + j] -= 0.5 * (hz[i * ny + j] - hz[i * ny + j - 1]);
+    }
+    for (int64_t i = 0; i < nx - 1; ++i) {
+      for (int64_t j = 0; j < ny - 1; ++j) {
+        hz[i * ny + j] -= 0.7 * (ex[i * ny + j + 1] - ex[i * ny + j] +
+                                 ey[(i + 1) * ny + j] - ey[i * ny + j]);
+      }
+    }
+  }
+}
+
+void syrk(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N"), m = S(s, "M");
+  double alpha = b.at("alpha").value(), beta = b.at("beta").value();
+  double* A = P(b, "A");
+  double* C = P(b, "C");
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = beta * C[i * n + j];
+      for (int64_t k = 0; k < m; ++k)
+        acc += alpha * A[i * m + k] * A[j * m + k];
+      C[i * n + j] = acc;
+    }
+  }
+}
+
+void syr2k(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N"), m = S(s, "M");
+  double alpha = b.at("alpha").value(), beta = b.at("beta").value();
+  double* A = P(b, "A");
+  double* B = P(b, "B");
+  double* C = P(b, "C");
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = beta * C[i * n + j];
+      for (int64_t k = 0; k < m; ++k) {
+        acc += alpha * (A[i * m + k] * B[j * m + k] +
+                        B[i * m + k] * A[j * m + k]);
+      }
+      C[i * n + j] = acc;
+    }
+  }
+}
+
+void covariance(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N"), m = S(s, "M");
+  double* data = P(b, "data");  // (N, M), mutated like the kernel does
+  double* cov = P(b, "cov");    // (M, M)
+  std::vector<double> mean((size_t)m, 0.0);
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) mean[(size_t)j] += data[i * m + j];
+  }
+  for (int64_t j = 0; j < m; ++j) mean[(size_t)j] /= (double)n;
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < m; ++j) data[i * m + j] -= mean[(size_t)j];
+  }
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < m; ++j) {
+      double acc = 0;
+      for (int64_t k = 0; k < n; ++k) acc += data[k * m + i] * data[k * m + j];
+      cov[i * m + j] = acc / (double)(n - 1);
+    }
+  }
+}
+
+void softmax(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N"), m = S(s, "M");
+  double* x = P(b, "x");
+  double* out = P(b, "out");
+  for (int64_t i = 0; i < n; ++i) {
+    double mx = x[i * m];
+    for (int64_t j = 1; j < m; ++j) mx = std::max(mx, x[i * m + j]);
+    double sum = 0;
+    for (int64_t j = 0; j < m; ++j) {
+      out[i * m + j] = std::exp(x[i * m + j] - mx);
+      sum += out[i * m + j];
+    }
+    for (int64_t j = 0; j < m; ++j) out[i * m + j] /= sum;
+  }
+}
+
+void resnet_conv(Bindings& b, const Sym& s) {
+  int64_t ho = S(s, "HO"), wo = S(s, "WO"), kh = S(s, "KH"), kw = S(s, "KW");
+  int64_t w_in = wo + kw - 1;
+  double* out = P(b, "out");
+  double* inp = P(b, "inp");
+  double* w = P(b, "w");
+  for (int64_t di = 0; di < kh; ++di) {
+    for (int64_t dj = 0; dj < kw; ++dj) {
+      double wv = w[di * kw + dj];
+      for (int64_t i = 0; i < ho; ++i) {
+        for (int64_t j = 0; j < wo; ++j)
+          out[i * wo + j] += inp[(i + di) * w_in + (j + dj)] * wv;
+      }
+    }
+  }
+}
+
+void nbody(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N");
+  double* x = P(b, "x");
+  double* y = P(b, "y");
+  double* m = P(b, "m");
+  double* fx = P(b, "fx");
+  double* fy = P(b, "fy");
+  for (int64_t i = 0; i < n; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double dx = x[j] - x[i];
+      double dy = y[j] - y[i];
+      double inv = 1.0 / std::sqrt(dx * dx + dy * dy + 0.1);
+      fx[i] += dx * inv * inv * inv * m[j];
+      fy[i] += dy * inv * inv * inv * m[j];
+    }
+  }
+}
+
+void go_fast(Bindings& b, const Sym& s) {
+  int64_t n = S(s, "N");
+  double* a = P(b, "a");
+  double* out = P(b, "out");
+  double trace = 0;
+  for (int64_t i = 0; i < n; ++i) trace += std::tanh(a[i * n + i]);
+  for (int64_t i = 0; i < n * n; ++i) out[i] = a[i] + trace;
+}
+
+}  // namespace dace::kernels::ref

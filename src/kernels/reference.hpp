@@ -1,0 +1,34 @@
+// Hand-written C++ reference implementations of the kernel suite
+// (the "Polybench/C" analogue of Fig. 7 and the correctness oracle).
+#pragma once
+
+#include "runtime/executor.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace dace::kernels::ref {
+
+using rt::Bindings;
+using Sym = sym::SymbolMap;
+
+void gemm(Bindings& b, const Sym& s);
+void k2mm(Bindings& b, const Sym& s);
+void k3mm(Bindings& b, const Sym& s);
+void atax(Bindings& b, const Sym& s);
+void bicg(Bindings& b, const Sym& s);
+void mvt(Bindings& b, const Sym& s);
+void gemver(Bindings& b, const Sym& s);
+void gesummv(Bindings& b, const Sym& s);
+void doitgen(Bindings& b, const Sym& s);
+void jacobi_1d(Bindings& b, const Sym& s);
+void jacobi_2d(Bindings& b, const Sym& s);
+void heat_3d(Bindings& b, const Sym& s);
+void fdtd_2d(Bindings& b, const Sym& s);
+void syrk(Bindings& b, const Sym& s);
+void syr2k(Bindings& b, const Sym& s);
+void covariance(Bindings& b, const Sym& s);
+void softmax(Bindings& b, const Sym& s);
+void resnet_conv(Bindings& b, const Sym& s);
+void nbody(Bindings& b, const Sym& s);
+void go_fast(Bindings& b, const Sym& s);
+
+}  // namespace dace::kernels::ref

@@ -1,0 +1,564 @@
+#include "kernels/suite.hpp"
+
+#include "kernels/reference.hpp"
+
+namespace dace::kernels {
+
+using rt::Bindings;
+using rt::Tensor;
+using Sym = sym::SymbolMap;
+
+void fill_pattern(Tensor& t, unsigned seed) {
+  const int64_t mod = 1021;
+  for (int64_t i = 0; i < t.size(); ++i) {
+    int64_t v = (i * 7 + (int64_t)seed * 131 + 3) % mod;
+    t.set_flat(i, (double)v / (double)mod - 0.5);
+  }
+}
+
+namespace {
+
+Tensor pat(std::vector<int64_t> shape, unsigned seed) {
+  Tensor t(ir::DType::f64, std::move(shape));
+  fill_pattern(t, seed);
+  return t;
+}
+
+std::vector<Kernel> build_suite() {
+  std::vector<Kernel> ks;
+
+  // ------------------------------------------------------------------ gemm
+  ks.push_back(Kernel{
+      "gemm",
+      R"(
+@dace.program
+def gemm(alpha: dace.float64, beta: dace.float64, C: dace.float64[NI, NJ],
+         A: dace.float64[NI, NK], B: dace.float64[NK, NJ]):
+    C[:] = alpha * A @ B + beta * C
+)",
+      {"C"},
+      {{"test", {{"NI", 18}, {"NJ", 22}, {"NK", 14}}},
+       {"paper", {{"NI", 384}, {"NJ", 384}, {"NK", 384}}},
+       {"fpga", {{"NI", 96}, {"NJ", 96}, {"NK", 96}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("alpha", Tensor::scalar(1.5));
+        b.emplace("beta", Tensor::scalar(1.2));
+        b.emplace("C", pat({s.at("NI"), s.at("NJ")}, 1));
+        b.emplace("A", pat({s.at("NI"), s.at("NK")}, 2));
+        b.emplace("B", pat({s.at("NK"), s.at("NJ")}, 3));
+        return b;
+      },
+      ref::gemm,
+      /*gpu=*/true, /*fpga=*/true, /*distributed=*/true});
+
+  // ------------------------------------------------------------------ k2mm
+  ks.push_back(Kernel{
+      "k2mm",
+      R"(
+@dace.program
+def k2mm(alpha: dace.float64, beta: dace.float64, A: dace.float64[NI, NK],
+         B: dace.float64[NK, NJ], C: dace.float64[NJ, NL],
+         D: dace.float64[NI, NL]):
+    D[:] = (alpha * A @ B) @ C + beta * D
+)",
+      {"D"},
+      {{"test", {{"NI", 12}, {"NJ", 14}, {"NK", 10}, {"NL", 16}}},
+       {"paper", {{"NI", 256}, {"NJ", 288}, {"NK", 224}, {"NL", 256}}},
+       {"fpga", {{"NI", 64}, {"NJ", 72}, {"NK", 56}, {"NL", 64}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("alpha", Tensor::scalar(1.5));
+        b.emplace("beta", Tensor::scalar(1.2));
+        b.emplace("A", pat({s.at("NI"), s.at("NK")}, 4));
+        b.emplace("B", pat({s.at("NK"), s.at("NJ")}, 5));
+        b.emplace("C", pat({s.at("NJ"), s.at("NL")}, 6));
+        b.emplace("D", pat({s.at("NI"), s.at("NL")}, 7));
+        return b;
+      },
+      ref::k2mm, true, true, true});
+
+  // ------------------------------------------------------------------ k3mm
+  ks.push_back(Kernel{
+      "k3mm",
+      R"(
+@dace.program
+def k3mm(A: dace.float64[NI, NK], B: dace.float64[NK, NJ],
+         C: dace.float64[NJ, NM], D: dace.float64[NM, NL],
+         G: dace.float64[NI, NL]):
+    G[:] = (A @ B) @ (C @ D)
+)",
+      {"G"},
+      {{"test", {{"NI", 10}, {"NJ", 12}, {"NK", 8}, {"NL", 14}, {"NM", 9}}},
+       {"paper",
+        {{"NI", 256}, {"NJ", 288}, {"NK", 160}, {"NL", 176}, {"NM", 192}}},
+       {"fpga",
+        {{"NI", 64}, {"NJ", 72}, {"NK", 40}, {"NL", 44}, {"NM", 48}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("NI"), s.at("NK")}, 8));
+        b.emplace("B", pat({s.at("NK"), s.at("NJ")}, 9));
+        b.emplace("C", pat({s.at("NJ"), s.at("NM")}, 10));
+        b.emplace("D", pat({s.at("NM"), s.at("NL")}, 11));
+        b.emplace("G", Tensor(ir::DType::f64, {s.at("NI"), s.at("NL")}));
+        return b;
+      },
+      ref::k3mm, true, true, true});
+
+  // ------------------------------------------------------------------ atax
+  ks.push_back(Kernel{
+      "atax",
+      R"(
+@dace.program
+def atax(A: dace.float64[M, N], x: dace.float64[N], y: dace.float64[N]):
+    y[:] = (A @ x) @ A
+)",
+      {"y"},
+      {{"test", {{"M", 20}, {"N", 24}}},
+       {"paper", {{"M", 1200}, {"N", 1400}}},
+       {"fpga", {{"M", 320}, {"N", 384}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("M"), s.at("N")}, 12));
+        b.emplace("x", pat({s.at("N")}, 13));
+        b.emplace("y", Tensor(ir::DType::f64, {s.at("N")}));
+        return b;
+      },
+      ref::atax, true, true, true});
+
+  // ------------------------------------------------------------------ bicg
+  ks.push_back(Kernel{
+      "bicg",
+      R"(
+@dace.program
+def bicg(A: dace.float64[N, M], p: dace.float64[M], r: dace.float64[N],
+         q: dace.float64[N], s: dace.float64[M]):
+    q[:] = A @ p
+    s[:] = r @ A
+)",
+      {"q", "s"},
+      {{"test", {{"M", 18}, {"N", 22}}},
+       {"paper", {{"M", 1400}, {"N", 1200}}},
+       {"fpga", {{"M", 384}, {"N", 320}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("N"), s.at("M")}, 14));
+        b.emplace("p", pat({s.at("M")}, 15));
+        b.emplace("r", pat({s.at("N")}, 16));
+        b.emplace("q", Tensor(ir::DType::f64, {s.at("N")}));
+        b.emplace("s", Tensor(ir::DType::f64, {s.at("M")}));
+        return b;
+      },
+      ref::bicg, true, true, true});
+
+  // ------------------------------------------------------------------- mvt
+  ks.push_back(Kernel{
+      "mvt",
+      R"(
+@dace.program
+def mvt(A: dace.float64[N, N], x1: dace.float64[N], x2: dace.float64[N],
+        y1: dace.float64[N], y2: dace.float64[N]):
+    x1[:] = x1 + A @ y1
+    x2[:] = x2 + y2 @ A
+)",
+      {"x1", "x2"},
+      {{"test", {{"N", 26}}},
+       {"paper", {{"N", 1300}}},
+       {"fpga", {{"N", 384}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("N"), s.at("N")}, 17));
+        b.emplace("x1", pat({s.at("N")}, 18));
+        b.emplace("x2", pat({s.at("N")}, 19));
+        b.emplace("y1", pat({s.at("N")}, 20));
+        b.emplace("y2", pat({s.at("N")}, 21));
+        return b;
+      },
+      ref::mvt, true, true, true});
+
+  // ---------------------------------------------------------------- gemver
+  ks.push_back(Kernel{
+      "gemver",
+      R"(
+@dace.program
+def gemver(alpha: dace.float64, beta: dace.float64, A: dace.float64[N, N],
+           u1: dace.float64[N], v1: dace.float64[N], u2: dace.float64[N],
+           v2: dace.float64[N], w: dace.float64[N], x: dace.float64[N],
+           y: dace.float64[N], z: dace.float64[N]):
+    A[:] = A + np.outer(u1, v1) + np.outer(u2, v2)
+    x[:] = x + beta * (y @ A) + z
+    w[:] = w + alpha * (A @ x)
+)",
+      {"A", "w", "x"},
+      {{"test", {{"N", 24}}},
+       {"paper", {{"N", 1000}}},
+       {"fpga", {{"N", 320}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("alpha", Tensor::scalar(1.5));
+        b.emplace("beta", Tensor::scalar(1.2));
+        b.emplace("A", pat({s.at("N"), s.at("N")}, 22));
+        for (unsigned i = 0; i < 8; ++i) {
+          static const char* names[] = {"u1", "v1", "u2", "v2",
+                                        "w",  "x",  "y",  "z"};
+          b.emplace(names[i], pat({s.at("N")}, 23 + i));
+        }
+        return b;
+      },
+      ref::gemver, true, true, true});
+
+  // --------------------------------------------------------------- gesummv
+  ks.push_back(Kernel{
+      "gesummv",
+      R"(
+@dace.program
+def gesummv(alpha: dace.float64, beta: dace.float64, A: dace.float64[N, N],
+            B: dace.float64[N, N], x: dace.float64[N], y: dace.float64[N]):
+    y[:] = alpha * (A @ x) + beta * (B @ x)
+)",
+      {"y"},
+      {{"test", {{"N", 30}}},
+       {"paper", {{"N", 1120}}},
+       {"fpga", {{"N", 320}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("alpha", Tensor::scalar(1.5));
+        b.emplace("beta", Tensor::scalar(1.2));
+        b.emplace("A", pat({s.at("N"), s.at("N")}, 31));
+        b.emplace("B", pat({s.at("N"), s.at("N")}, 32));
+        b.emplace("x", pat({s.at("N")}, 33));
+        b.emplace("y", Tensor(ir::DType::f64, {s.at("N")}));
+        return b;
+      },
+      ref::gesummv, true, true, true});
+
+  // --------------------------------------------------------------- doitgen
+  ks.push_back(Kernel{
+      "doitgen",
+      R"(
+@dace.program
+def doitgen(A: dace.float64[NR, NQ, NP], C4: dace.float64[NP, NP]):
+    for r in range(NR):
+        for q in range(NQ):
+            tmp = np.zeros((NP,), dtype=A.dtype)
+            tmp[:] = A[r, q, :] @ C4
+            A[r, q, :] = tmp
+)",
+      {"A"},
+      {{"test", {{"NR", 5}, {"NQ", 6}, {"NP", 10}}},
+       {"paper", {{"NR", 32}, {"NQ", 32}, {"NP", 64}}},
+       {"fpga", {{"NR", 12}, {"NQ", 12}, {"NP", 32}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("NR"), s.at("NQ"), s.at("NP")}, 34));
+        b.emplace("C4", pat({s.at("NP"), s.at("NP")}, 35));
+        return b;
+      },
+      ref::doitgen, true, true, true});
+
+  // ------------------------------------------------------------- jacobi_1d
+  ks.push_back(Kernel{
+      "jacobi_1d",
+      R"(
+@dace.program
+def jacobi_1d(TSTEPS: dace.int32, A: dace.float64[N], B: dace.float64[N]):
+    for t in range(1, TSTEPS):
+        B[1:-1] = 0.33333 * (A[:-2] + A[1:-1] + A[2:])
+        A[1:-1] = 0.33333 * (B[:-2] + B[1:-1] + B[2:])
+)",
+      {"A", "B"},
+      {{"test", {{"N", 40}, {"TSTEPS", 6}}},
+       {"paper", {{"N", 4000}, {"TSTEPS", 500}}},
+       {"fpga", {{"N", 1000}, {"TSTEPS", 100}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("N")}, 36));
+        b.emplace("B", pat({s.at("N")}, 37));
+        return b;
+      },
+      ref::jacobi_1d, true, true, true});
+
+  // ------------------------------------------------------------- jacobi_2d
+  ks.push_back(Kernel{
+      "jacobi_2d",
+      R"(
+@dace.program
+def jacobi_2d(TSTEPS: dace.int32, A: dace.float64[N, N],
+              B: dace.float64[N, N]):
+    for t in range(1, TSTEPS):
+        B[1:-1, 1:-1] = 0.2 * (A[1:-1, 1:-1] + A[1:-1, :-2] +
+                               A[1:-1, 2:] + A[2:, 1:-1] + A[:-2, 1:-1])
+        A[1:-1, 1:-1] = 0.2 * (B[1:-1, 1:-1] + B[1:-1, :-2] +
+                               B[1:-1, 2:] + B[2:, 1:-1] + B[:-2, 1:-1])
+)",
+      {"A", "B"},
+      {{"test", {{"N", 16}, {"TSTEPS", 5}}},
+       {"paper", {{"N", 250}, {"TSTEPS", 50}}},
+       {"fpga", {{"N", 96}, {"TSTEPS", 20}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("N"), s.at("N")}, 38));
+        b.emplace("B", pat({s.at("N"), s.at("N")}, 39));
+        return b;
+      },
+      ref::jacobi_2d, true, true, true});
+
+  // --------------------------------------------------------------- heat_3d
+  ks.push_back(Kernel{
+      "heat_3d",
+      R"(
+@dace.program
+def heat_3d(TSTEPS: dace.int32, A: dace.float64[N, N, N],
+            B: dace.float64[N, N, N]):
+    for t in range(1, TSTEPS):
+        B[1:-1, 1:-1, 1:-1] = (
+            0.125 * (A[2:, 1:-1, 1:-1] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                     + A[:-2, 1:-1, 1:-1])
+            + 0.125 * (A[1:-1, 2:, 1:-1] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                       + A[1:-1, :-2, 1:-1])
+            + 0.125 * (A[1:-1, 1:-1, 2:] - 2.0 * A[1:-1, 1:-1, 1:-1]
+                       + A[1:-1, 1:-1, :-2])
+            + A[1:-1, 1:-1, 1:-1])
+        A[1:-1, 1:-1, 1:-1] = (
+            0.125 * (B[2:, 1:-1, 1:-1] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                     + B[:-2, 1:-1, 1:-1])
+            + 0.125 * (B[1:-1, 2:, 1:-1] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                       + B[1:-1, :-2, 1:-1])
+            + 0.125 * (B[1:-1, 1:-1, 2:] - 2.0 * B[1:-1, 1:-1, 1:-1]
+                       + B[1:-1, 1:-1, :-2])
+            + B[1:-1, 1:-1, 1:-1])
+)",
+      {"A", "B"},
+      {{"test", {{"N", 8}, {"TSTEPS", 4}}},
+       {"paper", {{"N", 36}, {"TSTEPS", 25}}},
+       {"fpga", {{"N", 20}, {"TSTEPS", 10}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("N"), s.at("N"), s.at("N")}, 40));
+        b.emplace("B", pat({s.at("N"), s.at("N"), s.at("N")}, 41));
+        return b;
+      },
+      ref::heat_3d, true, true, false});
+
+  // --------------------------------------------------------------- fdtd_2d
+  ks.push_back(Kernel{
+      "fdtd_2d",
+      R"(
+@dace.program
+def fdtd_2d(TMAX: dace.int32, ex: dace.float64[NX, NY],
+            ey: dace.float64[NX, NY], hz: dace.float64[NX, NY],
+            fict: dace.float64[TMAX]):
+    for t in range(TMAX):
+        ey[0, :] = fict[t]
+        ey[1:, :] = ey[1:, :] - 0.5 * (hz[1:, :] - hz[:-1, :])
+        ex[:, 1:] = ex[:, 1:] - 0.5 * (hz[:, 1:] - hz[:, :-1])
+        hz[:-1, :-1] = hz[:-1, :-1] - 0.7 * (ex[:-1, 1:] - ex[:-1, :-1] +
+                                             ey[1:, :-1] - ey[:-1, :-1])
+)",
+      {"ex", "ey", "hz"},
+      {{"test", {{"NX", 12}, {"NY", 14}, {"TMAX", 5}}},
+       {"paper", {{"NX", 200}, {"NY", 240}, {"TMAX", 50}}},
+       {"fpga", {{"NX", 80}, {"NY", 96}, {"TMAX", 20}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("ex", pat({s.at("NX"), s.at("NY")}, 42));
+        b.emplace("ey", pat({s.at("NX"), s.at("NY")}, 43));
+        b.emplace("hz", pat({s.at("NX"), s.at("NY")}, 44));
+        b.emplace("fict", pat({s.at("TMAX")}, 45));
+        return b;
+      },
+      ref::fdtd_2d, true, true, false});
+
+  // ------------------------------------------------------------------ syrk
+  ks.push_back(Kernel{
+      "syrk",
+      R"(
+@dace.program
+def syrk(alpha: dace.float64, beta: dace.float64, C: dace.float64[N, N],
+         A: dace.float64[N, M]):
+    C[:] = alpha * (A @ np.transpose(A)) + beta * C
+)",
+      {"C"},
+      {{"test", {{"N", 20}, {"M", 14}}},
+       {"paper", {{"N", 320}, {"M", 256}}},
+       {"fpga", {{"N", 96}, {"M", 64}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("alpha", Tensor::scalar(1.5));
+        b.emplace("beta", Tensor::scalar(1.2));
+        b.emplace("C", pat({s.at("N"), s.at("N")}, 46));
+        b.emplace("A", pat({s.at("N"), s.at("M")}, 47));
+        return b;
+      },
+      ref::syrk, true, false, false});
+
+  // ----------------------------------------------------------------- syr2k
+  ks.push_back(Kernel{
+      "syr2k",
+      R"(
+@dace.program
+def syr2k(alpha: dace.float64, beta: dace.float64, C: dace.float64[N, N],
+          A: dace.float64[N, M], B: dace.float64[N, M]):
+    C[:] = alpha * (A @ np.transpose(B)) + alpha * (B @ np.transpose(A)) + beta * C
+)",
+      {"C"},
+      {{"test", {{"N", 18}, {"M", 12}}},
+       {"paper", {{"N", 288}, {"M", 224}}},
+       {"fpga", {{"N", 80}, {"M", 56}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("alpha", Tensor::scalar(1.5));
+        b.emplace("beta", Tensor::scalar(1.2));
+        b.emplace("C", pat({s.at("N"), s.at("N")}, 48));
+        b.emplace("A", pat({s.at("N"), s.at("M")}, 49));
+        b.emplace("B", pat({s.at("N"), s.at("M")}, 50));
+        return b;
+      },
+      ref::syr2k, true, false, false});
+
+  // ------------------------------------------------------------ covariance
+  ks.push_back(Kernel{
+      "covariance",
+      R"(
+@dace.program
+def covariance(data: dace.float64[N, M], cov: dace.float64[M, M]):
+    mean = np.sum(data, axis=0) / N
+    data[:] = data - mean
+    cov[:] = (np.transpose(data) @ data) / (N - 1.0)
+)",
+      {"cov"},
+      {{"test", {{"N", 24}, {"M", 10}}},
+       {"paper", {{"N", 500}, {"M", 120}}},
+       {"fpga", {{"N", 160}, {"M", 48}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("data", pat({s.at("N"), s.at("M")}, 51));
+        b.emplace("cov", Tensor(ir::DType::f64, {s.at("M"), s.at("M")}));
+        return b;
+      },
+      ref::covariance, true, false, false});
+
+  // --------------------------------------------------------------- softmax
+  ks.push_back(Kernel{
+      "softmax",
+      R"(
+@dace.program
+def softmax(x: dace.float64[N, M], out: dace.float64[N, M]):
+    for i in range(N):
+        mx = np.max(x[i, :])
+        e = np.exp(x[i, :] - mx)
+        out[i, :] = e / np.sum(e)
+)",
+      {"out"},
+      {{"test", {{"N", 10}, {"M", 16}}},
+       {"paper", {{"N", 400}, {"M", 400}}},
+       {"fpga", {{"N", 64}, {"M", 64}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("x", pat({s.at("N"), s.at("M")}, 52));
+        b.emplace("out", Tensor(ir::DType::f64, {s.at("N"), s.at("M")}));
+        return b;
+      },
+      ref::softmax, true, false, false});
+
+  // ------------------------------------------------------- resnet (conv2d)
+  // The paper's resnet anomaly: a convolution written as a loop of
+  // summations; LoopToMap turns the accumulation into WCR, which costs
+  // atomics on the GPU (Section 3.4.2).
+  ks.push_back(Kernel{
+      "resnet",
+      R"(
+@dace.program
+def resnet(out: dace.float64[HO, WO],
+           inp: dace.float64[HO + KH - 1, WO + KW - 1],
+           w: dace.float64[KH, KW]):
+    for di in range(KH):
+        for dj in range(KW):
+            out[:, :] += inp[di:HO+di, dj:WO+dj] * w[di, dj]
+)",
+      {"out"},
+      {{"test", {{"HO", 10}, {"WO", 12}, {"KH", 3}, {"KW", 3}}},
+       {"paper", {{"HO", 64}, {"WO", 64}, {"KH", 5}, {"KW", 5}}},
+       {"fpga", {{"HO", 32}, {"WO", 32}, {"KH", 3}, {"KW", 3}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("out", pat({s.at("HO"), s.at("WO")}, 53));
+        b.emplace("inp", pat({s.at("HO") + s.at("KH") - 1,
+                              s.at("WO") + s.at("KW") - 1},
+                             54));
+        b.emplace("w", pat({s.at("KH"), s.at("KW")}, 55));
+        return b;
+      },
+      ref::resnet_conv, true, false, false});
+
+  // ----------------------------------------------------------------- nbody
+  ks.push_back(Kernel{
+      "nbody",
+      R"(
+@dace.program
+def nbody(x: dace.float64[N], y: dace.float64[N], m: dace.float64[N],
+          fx: dace.float64[N], fy: dace.float64[N]):
+    for i, j in dace.map[0:N, 0:N]:
+        dx = x[j] - x[i]
+        dy = y[j] - y[i]
+        inv = 1.0 / np.sqrt(dx * dx + dy * dy + 0.1)
+        fx[i] += dx * inv * inv * inv * m[j]
+        fy[i] += dy * inv * inv * inv * m[j]
+)",
+      {"fx", "fy"},
+      {{"test", {{"N", 24}}},
+       {"paper", {{"N", 1200}}},
+       {"fpga", {{"N", 256}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("x", pat({s.at("N")}, 56));
+        b.emplace("y", pat({s.at("N")}, 57));
+        b.emplace("m", pat({s.at("N")}, 58));
+        b.emplace("fx", Tensor(ir::DType::f64, {s.at("N")}));
+        b.emplace("fy", Tensor(ir::DType::f64, {s.at("N")}));
+        return b;
+      },
+      ref::nbody, /*gpu=*/false, /*fpga=*/false, /*distributed=*/false});
+
+  // --------------------------------------------------------------- go_fast
+  // The Numba five-minute-guide example [3].
+  ks.push_back(Kernel{
+      "go_fast",
+      R"(
+@dace.program
+def go_fast(a: dace.float64[N, N], out: dace.float64[N, N]):
+    trace = 0.0
+    for i in range(N):
+        trace += np.tanh(a[i, i])
+    out[:] = a + trace
+)",
+      {"out"},
+      {{"test", {{"N", 20}}},
+       {"paper", {{"N", 800}}},
+       {"fpga", {{"N", 128}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("a", pat({s.at("N"), s.at("N")}, 59));
+        b.emplace("out", Tensor(ir::DType::f64, {s.at("N"), s.at("N")}));
+        return b;
+      },
+      ref::go_fast, true, false, false});
+
+  return ks;
+}
+
+}  // namespace
+
+const std::vector<Kernel>& suite() {
+  static const std::vector<Kernel> ks = build_suite();
+  return ks;
+}
+
+const Kernel& kernel(const std::string& name) {
+  for (const auto& k : suite()) {
+    if (k.name == name) return k;
+  }
+  throw err("kernels: unknown kernel '", name, "'");
+}
+
+}  // namespace dace::kernels

@@ -1,0 +1,40 @@
+// The benchmark kernel suite (Section 3.4): a NumPy-style port of
+// Polybench plus domain applications, each written once in DaCeLang and
+// executed through every backend (eager baseline, -O0 SDFG, auto-optimized
+// CPU/GPU/FPGA, distributed).  Each kernel carries deterministic input
+// initialization, a hand-written C++ reference (the correctness oracle and
+// the "Polybench/C" comparison point of Fig. 7), and named size presets.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "runtime/executor.hpp"
+#include "symbolic/symbolic.hpp"
+
+namespace dace::kernels {
+
+struct Kernel {
+  std::string name;
+  std::string source;                  // DaCeLang program text
+  std::vector<std::string> outputs;    // containers checked for correctness
+  std::map<std::string, sym::SymbolMap> presets;  // "test", "paper", ...
+  std::function<rt::Bindings(const sym::SymbolMap&)> init;
+  std::function<void(rt::Bindings&, const sym::SymbolMap&)> reference;
+  bool gpu = true;          // part of the GPU figure
+  bool fpga = true;         // part of the FPGA figure
+  bool distributed = false; // part of the distributed figure (Table 2)
+};
+
+/// All kernels, in presentation order.
+const std::vector<Kernel>& suite();
+
+/// Lookup by name; throws on unknown kernels.
+const Kernel& kernel(const std::string& name);
+
+/// Deterministic dense initializer: value depends on flat index and seed.
+void fill_pattern(rt::Tensor& t, unsigned seed);
+
+}  // namespace dace::kernels

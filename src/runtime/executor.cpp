@@ -1,0 +1,330 @@
+#include "runtime/executor.hpp"
+
+#include <algorithm>
+
+#include "runtime/tensor_ops.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dace::rt {
+
+// ---------------------------------------------------------------------------
+// Library registry
+// ---------------------------------------------------------------------------
+
+namespace detail {
+void register_builtin_kernels(LibraryRegistry&);  // library_kernels.cpp
+}
+
+LibraryRegistry& LibraryRegistry::global() {
+  static LibraryRegistry reg = [] {
+    LibraryRegistry r;
+    detail::register_builtin_kernels(r);
+    return r;
+  }();
+  return reg;
+}
+
+void LibraryRegistry::register_op(const std::string& op, LibraryHandler h) {
+  handlers_[op] = std::move(h);
+}
+
+const LibraryHandler* LibraryRegistry::find(const std::string& op) const {
+  auto it = handlers_.find(op);
+  return it == handlers_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Executor
+// ---------------------------------------------------------------------------
+
+Executor::Executor(const ir::SDFG& sdfg, ExecutorOptions opts)
+    : sdfg_(sdfg), opts_(opts) {}
+
+Executor::~Executor() = default;
+
+Tensor& Executor::tensor(const std::string& container) {
+  auto it = env_.find(container);
+  DACE_CHECK(it != env_.end(), "executor: container '", container,
+             "' is not bound");
+  return it->second;
+}
+
+int64_t Executor::eval(const sym::Expr& e) const { return e.eval(syms_); }
+
+Tensor Executor::view(const ir::Memlet& m) {
+  Tensor& t = tensor(m.data);
+  if (m.subset.dims() == 0) return t;
+  std::vector<int64_t> b, e, s;
+  for (size_t d = 0; d < m.subset.dims(); ++d) {
+    b.push_back(eval(m.subset.range(d).begin));
+    e.push_back(eval(m.subset.range(d).end));
+    s.push_back(eval(m.subset.range(d).step));
+  }
+  return t.slice(b, e, s);
+}
+
+Tensor Executor::view(const ir::Memlet& m, const std::string& viewdims) {
+  Tensor& t = tensor(m.data);
+  if (m.subset.dims() == 0) return t;
+  std::set<int> keep;
+  size_t pos = 0;
+  while (pos < viewdims.size()) {
+    size_t comma = viewdims.find(',', pos);
+    if (comma == std::string::npos) comma = viewdims.size();
+    keep.insert(std::stoi(viewdims.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  std::vector<int64_t> b, e, s;
+  std::vector<bool> drop;
+  for (size_t d = 0; d < m.subset.dims(); ++d) {
+    b.push_back(eval(m.subset.range(d).begin));
+    e.push_back(eval(m.subset.range(d).end));
+    s.push_back(eval(m.subset.range(d).step));
+    drop.push_back(!keep.count((int)d));
+  }
+  return t.slice(b, e, s, drop);
+}
+
+void Executor::allocate_transients() {
+  for (const auto& [name, d] : sdfg_.arrays()) {
+    if (!d.transient || d.is_stream) continue;
+    if (env_.count(name)) continue;
+    std::vector<int64_t> shape;
+    shape.reserve(d.shape.size());
+    for (const auto& s : d.shape) shape.push_back(eval(s));
+    if (d.lifetime == ir::Lifetime::Persistent) {
+      auto it = persistent_.find(name);
+      if (it != persistent_.end() &&
+          it->second.shape() == shape) {
+        env_.emplace(name, it->second);
+        continue;
+      }
+      Tensor t(d.dtype, shape);
+      persistent_[name] = t;
+      env_.emplace(name, t);
+    } else {
+      env_.emplace(name, Tensor(d.dtype, shape));
+    }
+  }
+}
+
+void Executor::run(Bindings& args, const sym::SymbolMap& symbols) {
+  if (opts_.validate && !validated_) {
+    sdfg_.validate();
+    validated_ = true;
+  }
+  syms_ = symbols;
+  // Check all free symbols are provided.
+  for (const auto& s : sdfg_.free_symbols()) {
+    DACE_CHECK(syms_.count(s), "executor: missing symbol '", s, "'");
+  }
+  env_.clear();
+  for (const auto& an : sdfg_.arg_names()) {
+    auto it = args.find(an);
+    DACE_CHECK(it != args.end(), "executor: missing argument '", an, "'");
+    env_.emplace(an, it->second);  // shallow view, shared buffer
+  }
+  allocate_transients();
+
+  int cur = sdfg_.start_state();
+  int64_t steps = 0;
+  const int64_t kMaxSteps = 100000000;
+  while (cur >= 0) {
+    execute_state(sdfg_.state(cur));
+    DACE_CHECK(++steps < kMaxSteps, "executor: state machine did not halt");
+    int next = -1;
+    for (size_t ei : sdfg_.out_interstate(cur)) {
+      const ir::InterstateEdge& e = sdfg_.interstate_edges()[ei];
+      bool taken = true;
+      if (e.condition.valid()) {
+        taken = e.condition.eval({}, syms_) != 0;
+      }
+      if (!taken) continue;
+      // Evaluate all assignments against the pre-transition symbol values.
+      std::vector<std::pair<std::string, int64_t>> vals;
+      for (const auto& [k, v] : e.assignments) vals.emplace_back(k, eval(v));
+      for (const auto& [k, v] : vals) syms_[k] = v;
+      next = e.dst;
+      break;
+    }
+    cur = next;
+  }
+}
+
+void Executor::notify_launch(const std::string& kind, const VMStats& before) {
+  if (!opts_.launch_hook) return;
+  VMStats d;
+  d.flops = stats_.flops - before.flops;
+  d.loads = stats_.loads - before.loads;
+  d.stores = stats_.stores - before.stores;
+  d.wcr_stores = stats_.wcr_stores - before.wcr_stores;
+  opts_.launch_hook(kind, d);
+}
+
+void Executor::execute_state(const ir::State& st) {
+  // Top-level nodes only; nodes inside map scopes execute via the VM.
+  std::set<int> inner;
+  for (int id : st.node_ids()) {
+    if (st.node(id)->kind == ir::NodeKind::MapEntry &&
+        st.scope_of(id) == -1) {
+      for (int s : st.scope_nodes(id)) inner.insert(s);
+    }
+  }
+  for (int id : st.topological_order()) {
+    if (inner.count(id)) continue;
+    const ir::Node* n = st.node(id);
+    switch (n->kind) {
+      case ir::NodeKind::Access:
+        break;
+      case ir::NodeKind::Tasklet: {
+        VMStats before = stats_;
+        execute_tasklet(st, id);
+        notify_launch("tasklet", before);
+        break;
+      }
+      case ir::NodeKind::MapEntry: {
+        VMStats before = stats_;
+        execute_map(st, id);
+        notify_launch("map", before);
+        break;
+      }
+      case ir::NodeKind::MapExit:
+        break;
+      case ir::NodeKind::Library: {
+        VMStats before = stats_;
+        execute_library(st, id);
+        notify_launch("library", before);
+        break;
+      }
+      case ir::NodeKind::NestedSDFG:
+        execute_nested(st, id);
+        break;
+    }
+  }
+}
+
+void Executor::execute_tasklet(const ir::State& st, int node) {
+  const auto* t = st.node_as<const ir::Tasklet>(node);
+  std::map<std::string, double> inputs;
+  for (const auto* e : st.in_edges(node)) {
+    if (e->memlet.empty()) continue;
+    Tensor v = view(e->memlet);
+    inputs[e->dst_conn] = v.get_flat(0);
+  }
+  double out = t->code.eval(inputs, syms_);
+  for (const auto* e : st.out_edges(node)) {
+    if (e->memlet.empty()) continue;
+    Tensor v = view(e->memlet);
+    switch (e->memlet.wcr) {
+      case ir::WCR::None: v.set_flat(0, out); break;
+      case ir::WCR::Sum: v.set_flat(0, v.get_flat(0) + out); break;
+      case ir::WCR::Prod: v.set_flat(0, v.get_flat(0) * out); break;
+      case ir::WCR::Min: v.set_flat(0, std::min(v.get_flat(0), out)); break;
+      case ir::WCR::Max: v.set_flat(0, std::max(v.get_flat(0), out)); break;
+    }
+  }
+}
+
+void Executor::execute_map(const ir::State& st, int node) {
+  const auto* me = st.node_as<const ir::MapEntry>(node);
+  int sid = sdfg_.state_id(&st);
+  auto key = std::make_pair(sid, node);
+  auto it = programs_.find(key);
+  if (it == programs_.end()) {
+    it = programs_.emplace(key, compile_map_scope(sdfg_, st, node)).first;
+  }
+  const Program& prog = it->second;
+
+  // Bind array slots and symbol slots.
+  std::vector<ArrayRef> arrays(prog.arrays.size());
+  for (size_t i = 0; i < prog.arrays.size(); ++i) {
+    Tensor& t = tensor(prog.arrays[i]);
+    DACE_CHECK(t.contiguous(),
+               "executor: map operand '", prog.arrays[i],
+               "' must be contiguous");
+    arrays[i] = ArrayRef{t.data(), t.dtype()};
+  }
+  std::vector<int64_t> symvals(prog.symbols.size());
+  for (size_t i = 0; i < prog.symbols.size(); ++i) {
+    auto sit = syms_.find(prog.symbols[i]);
+    DACE_CHECK(sit != syms_.end(), "executor: unbound symbol '",
+               prog.symbols[i], "' in map");
+    symvals[i] = sit->second;
+  }
+
+  ++map_launches_;
+  const sym::Range& r0 = me->range.range(0);
+  int64_t begin = eval(r0.begin), end = eval(r0.end), step = eval(r0.step);
+  int64_t iters = step > 0 ? (end - begin + step - 1) / step : 0;
+  if (iters <= 0) return;
+
+  bool parallel = opts_.parallel &&
+                  (me->schedule == ir::Schedule::CPUParallel ||
+                   me->schedule == ir::Schedule::GPUDevice) &&
+                  prog.splittable;
+  VMStats* stats = opts_.collect_stats ? &stats_ : nullptr;
+  if (!parallel) {
+    if (prog.splittable) {
+      vm_run(prog, arrays, symvals, begin, end, stats);
+    } else {
+      vm_run(prog, arrays, symvals, 0, 0, stats);
+    }
+    return;
+  }
+  std::mutex stats_mu;
+  ThreadPool::global().parallel_for(iters, [&](int64_t lo, int64_t hi) {
+    VMStats local;
+    vm_run(prog, arrays, symvals, begin + lo * step, begin + hi * step,
+           stats ? &local : nullptr);
+    if (stats) {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      *stats += local;
+    }
+  });
+}
+
+void Executor::execute_library(const ir::State& st, int node) {
+  const auto* l = st.node_as<const ir::LibraryNode>(node);
+  const LibraryHandler* h = LibraryRegistry::global().find(l->op);
+  DACE_CHECK(h != nullptr, "executor: no implementation for library node '",
+             l->op, "'");
+  ++library_calls_;
+  (*h)(*this, st, node);
+}
+
+void Executor::execute_nested(const ir::State& st, int node) {
+  const auto* nn = st.node_as<const ir::NestedSDFGNode>(node);
+  int sid = sdfg_.state_id(&st);
+  auto key = std::make_pair(sid, node);
+  auto it = children_.find(key);
+  if (it == children_.end()) {
+    auto child = std::make_unique<Executor>(*nn->sdfg, opts_);
+    child->comm_context = comm_context;
+    it = children_.emplace(key, std::move(child)).first;
+  }
+  Executor& child = *it->second;
+  child.comm_context = comm_context;
+
+  Bindings child_args;
+  for (const auto* e : st.in_edges(node)) {
+    if (e->memlet.empty()) continue;
+    child_args.emplace(e->dst_conn, view(e->memlet));
+  }
+  for (const auto* e : st.out_edges(node)) {
+    if (e->memlet.empty()) continue;
+    if (!child_args.count(e->src_conn))
+      child_args.emplace(e->src_conn, view(e->memlet));
+  }
+  sym::SymbolMap child_syms = syms_;
+  for (const auto& [k, v] : nn->symbol_mapping) child_syms[k] = eval(v);
+  child.run(child_args, child_syms);
+  stats_ += child.stats();
+}
+
+void execute(const ir::SDFG& sdfg, Bindings& args,
+             const sym::SymbolMap& symbols, ExecutorOptions opts) {
+  Executor ex(sdfg, opts);
+  ex.run(args, symbols);
+}
+
+}  // namespace dace::rt

@@ -1,0 +1,118 @@
+// SDFG executor (CPU backend).
+//
+// Interprets an SDFG as a state machine over interstate edges; inside each
+// state, dataflow executes in topological order.  Map scopes are compiled
+// once to bytecode (runtime/bytecode.hpp) and run through the VM --
+// CPU-parallel schedules split the outermost dimension across the global
+// thread pool.  Library nodes dispatch through an extensible registry
+// (Section 3.2: library specialization); the distributed and device
+// modules register additional handlers (comm::*, PBLAS, ...).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "ir/sdfg.hpp"
+#include "runtime/bytecode.hpp"
+#include "runtime/tensor.hpp"
+
+namespace dace::rt {
+
+class Executor;
+
+/// Named tensor arguments of an SDFG invocation.
+using Bindings = std::map<std::string, Tensor>;
+
+/// Handler executing one library node occurrence.
+using LibraryHandler =
+    std::function<void(Executor&, const ir::State&, int node_id)>;
+
+/// Registry of library-node implementations, keyed by op name.
+class LibraryRegistry {
+ public:
+  static LibraryRegistry& global();
+  void register_op(const std::string& op, LibraryHandler h);
+  const LibraryHandler* find(const std::string& op) const;
+
+ private:
+  std::map<std::string, LibraryHandler> handlers_;
+};
+
+struct ExecutorOptions {
+  bool parallel = true;    // honor CPU_Multicore schedules
+  bool validate = true;    // validate the SDFG before first run
+  bool collect_stats = true;
+  /// Called after each top-level map execution ("map"), library call
+  /// ("library") or top-level tasklet ("tasklet") with the statistics
+  /// delta it produced. Device simulators charge launch costs here.
+  std::function<void(const std::string& kind, const VMStats& delta)>
+      launch_hook;
+};
+
+/// Compile a map scope into a VM program (exposed for the device
+/// simulators, which reuse the compiler with their own execution policy).
+Program compile_map_scope(const ir::SDFG& sdfg, const ir::State& st,
+                          int entry);
+
+class Executor {
+ public:
+  explicit Executor(const ir::SDFG& sdfg, ExecutorOptions opts = {});
+  ~Executor();
+
+  /// Execute with the given argument tensors and symbol values.
+  /// Tensors are shared views: outputs are written in place.
+  void run(Bindings& args, const sym::SymbolMap& symbols);
+
+  // -- services for library handlers ----------------------------------------
+  const ir::SDFG& sdfg() const { return sdfg_; }
+  sym::SymbolMap& symbols() { return syms_; }
+  /// Tensor bound to a container (argument or transient).
+  Tensor& tensor(const std::string& container);
+  /// Tensor view selected by a memlet (all dims kept).
+  Tensor view(const ir::Memlet& m);
+  /// View with dims outside `viewdims` (comma-separated container dims)
+  /// dropped; those dims must have unit extent.
+  Tensor view(const ir::Memlet& m, const std::string& viewdims);
+  int64_t eval(const sym::Expr& e) const;
+
+  VMStats& stats() { return stats_; }
+  /// Number of top-level map executions ("kernel launches").
+  int64_t map_launches() const { return map_launches_; }
+  int64_t library_calls() const { return library_calls_; }
+
+  const ExecutorOptions& options() const { return opts_; }
+
+  /// Opaque per-rank communication context used by distributed handlers.
+  void* comm_context = nullptr;
+
+ private:
+  void allocate_transients();
+  void notify_launch(const std::string& kind, const VMStats& before);
+  void execute_state(const ir::State& st);
+  void execute_tasklet(const ir::State& st, int node);
+  void execute_map(const ir::State& st, int node);
+  void execute_library(const ir::State& st, int node);
+  void execute_nested(const ir::State& st, int node);
+
+  const ir::SDFG& sdfg_;
+  ExecutorOptions opts_;
+  sym::SymbolMap syms_;
+  Bindings env_;
+  Bindings persistent_;  // persistent transients survive across run()
+  // Compiled map programs, keyed by (state id, entry node id).
+  std::map<std::pair<int, int>, Program> programs_;
+  // Child executors for nested SDFG nodes.
+  std::map<std::pair<int, int>, std::unique_ptr<Executor>> children_;
+  VMStats stats_;
+  int64_t map_launches_ = 0;
+  int64_t library_calls_ = 0;
+  bool validated_ = false;
+};
+
+/// One-call convenience: execute an SDFG.
+void execute(const ir::SDFG& sdfg, Bindings& args,
+             const sym::SymbolMap& symbols, ExecutorOptions opts = {});
+
+}  // namespace dace::rt

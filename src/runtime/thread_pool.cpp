@@ -1,0 +1,94 @@
+#include "runtime/thread_pool.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace dace::rt {
+
+thread_local bool ThreadPool::in_parallel_region_ = false;
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(1, num_threads)) {
+  // Worker 0 is the calling thread; spawn the rest.
+  for (int i = 1; i < num_threads_; ++i) {
+    workers_.emplace_back([this, i] { worker_loop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    stop_ = true;
+  }
+  cv_start_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop(int index) {
+  uint64_t seen = 0;
+  for (;;) {
+    std::function<void(int)> job;
+    {
+      std::unique_lock<std::mutex> lk(mu_);
+      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      if (stop_) return;
+      seen = generation_;
+      job = job_;
+    }
+    in_parallel_region_ = true;
+    job(index);
+    in_parallel_region_ = false;
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      if (--pending_ == 0) cv_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_on_all(const std::function<void(int)>& body) {
+  if (num_threads_ == 1 || in_parallel_region_) {
+    for (int i = 0; i < num_threads_; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    job_ = body;
+    pending_ = num_threads_ - 1;
+    ++generation_;
+  }
+  cv_start_.notify_all();
+  in_parallel_region_ = true;
+  body(0);
+  in_parallel_region_ = false;
+  std::unique_lock<std::mutex> lk(mu_);
+  cv_done_.wait(lk, [&] { return pending_ == 0; });
+}
+
+void ThreadPool::parallel_for(
+    int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+  if (n <= 0) return;
+  if (num_threads_ == 1 || in_parallel_region_ || n < 2 * num_threads_) {
+    body(0, n);
+    return;
+  }
+  int64_t chunk = (n + num_threads_ - 1) / num_threads_;
+  run_on_all([&](int w) {
+    int64_t b = std::min<int64_t>(n, w * chunk);
+    int64_t e = std::min<int64_t>(n, b + chunk);
+    if (b < e) body(b, e);
+  });
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool([] {
+    if (const char* env = std::getenv("DACEPP_NUM_THREADS")) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    unsigned hc = std::thread::hardware_concurrency();
+    return hc > 0 ? static_cast<int>(hc) : 1;
+  }());
+  return pool;
+}
+
+}  // namespace dace::rt

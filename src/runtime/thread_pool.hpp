@@ -1,0 +1,54 @@
+// Shared-memory worker pool with OpenMP-style static worksharing.
+//
+// CPU-parallel map scopes execute through parallel_for, which splits the
+// iteration domain into one contiguous chunk per worker (static schedule,
+// like `#pragma omp parallel for schedule(static)`).  A process-global
+// pool is shared by all executors; the worker count defaults to the
+// hardware concurrency and can be overridden with DACEPP_NUM_THREADS.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace dace::rt {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int num_threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Run body(begin, end) over [0, n) split statically across workers.
+  /// The calling thread participates. Nested calls run inline.
+  void parallel_for(int64_t n,
+                    const std::function<void(int64_t, int64_t)>& body);
+
+  /// Run body(worker_index) once on every worker (SPMD-style).
+  void run_on_all(const std::function<void(int)>& body);
+
+  /// Process-global pool (DACEPP_NUM_THREADS or hardware concurrency).
+  static ThreadPool& global();
+
+ private:
+  void worker_loop(int index);
+
+  int num_threads_;
+  std::vector<std::thread> workers_;
+  std::mutex mu_;
+  std::condition_variable cv_start_, cv_done_;
+  std::function<void(int)> job_;  // worker index -> work
+  uint64_t generation_ = 0;
+  int pending_ = 0;
+  bool stop_ = false;
+  static thread_local bool in_parallel_region_;
+};
+
+}  // namespace dace::rt

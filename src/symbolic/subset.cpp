@@ -1,0 +1,140 @@
+#include "symbolic/subset.hpp"
+
+#include <sstream>
+
+namespace dace::sym {
+
+std::string Range::to_string() const {
+  std::ostringstream os;
+  if (is_index()) {
+    os << begin.to_string();
+  } else {
+    os << begin.to_string() << ":" << end.to_string();
+    if (!step.is_one()) os << ":" << step.to_string();
+  }
+  return os.str();
+}
+
+Subset Subset::full(const std::vector<Expr>& shape) {
+  std::vector<Range> rs;
+  rs.reserve(shape.size());
+  for (const auto& s : shape) rs.emplace_back(Expr(int64_t{0}), s);
+  return Subset(std::move(rs));
+}
+
+Subset Subset::element(const std::vector<Expr>& indices) {
+  std::vector<Range> rs;
+  rs.reserve(indices.size());
+  for (const auto& i : indices) rs.push_back(Range::index(i));
+  return Subset(std::move(rs));
+}
+
+std::vector<Expr> Subset::sizes() const {
+  std::vector<Expr> out;
+  out.reserve(ranges_.size());
+  for (const auto& r : ranges_) out.push_back(r.size());
+  return out;
+}
+
+Expr Subset::num_elements() const {
+  Expr n(int64_t{1});
+  for (const auto& r : ranges_) n = n * r.size();
+  return n;
+}
+
+bool Subset::is_element() const {
+  for (const auto& r : ranges_) {
+    if (!r.is_index()) return false;
+  }
+  return true;
+}
+
+Subset Subset::subs(const SubstMap& m) const {
+  std::vector<Range> rs;
+  rs.reserve(ranges_.size());
+  for (const auto& r : ranges_) rs.push_back(r.subs(m));
+  return Subset(std::move(rs));
+}
+
+std::optional<bool> Subset::disjoint(const Subset& a, const Subset& b) {
+  if (a.dims() != b.dims()) return std::nullopt;
+  // Disjoint if provably disjoint in ANY dimension; intersecting only if
+  // provably overlapping in ALL dimensions.
+  bool all_overlap = true;
+  for (size_t d = 0; d < a.dims(); ++d) {
+    const Range& ra = a.range(d);
+    const Range& rb = b.range(d);
+    // Interval reasoning on the covering intervals [begin, end).
+    // Disjoint if ra.end <= rb.begin or rb.end <= ra.begin.
+    if ((rb.begin - ra.end).provably_nonnegative() ||
+        (ra.begin - rb.end).provably_nonnegative()) {
+      return true;
+    }
+    // Overlap proven if ra.begin < rb.end and rb.begin < ra.end.
+    bool overlap = (rb.end - ra.begin - Expr(int64_t{1})).provably_nonnegative() &&
+                   (ra.end - rb.begin - Expr(int64_t{1})).provably_nonnegative();
+    if (!overlap || !ra.step.is_one() || !rb.step.is_one())
+      all_overlap = false;
+  }
+  if (all_overlap) return false;
+  return std::nullopt;
+}
+
+bool Subset::covers(const Subset& other) const {
+  if (dims() != other.dims()) return false;
+  for (size_t d = 0; d < dims(); ++d) {
+    const Range& mine = range(d);
+    const Range& theirs = other.range(d);
+    if (!mine.step.is_one()) {
+      // Strided coverage only if ranges are identical.
+      if (!mine.equals(theirs)) return false;
+      continue;
+    }
+    // mine.begin <= theirs.begin and theirs.end <= mine.end.
+    if (!(theirs.begin - mine.begin).provably_nonnegative()) return false;
+    if (!(mine.end - theirs.end).provably_nonnegative()) return false;
+  }
+  return true;
+}
+
+bool Subset::equals(const Subset& other) const {
+  if (dims() != other.dims()) return false;
+  for (size_t d = 0; d < dims(); ++d) {
+    if (!range(d).equals(other.range(d))) return false;
+  }
+  return true;
+}
+
+Subset Subset::offset_by(const std::vector<Expr>& offsets) const {
+  DACE_CHECK(offsets.size() == dims(), "subset: offset rank mismatch");
+  std::vector<Range> rs;
+  rs.reserve(ranges_.size());
+  for (size_t d = 0; d < dims(); ++d) {
+    rs.emplace_back(ranges_[d].begin + offsets[d], ranges_[d].end + offsets[d],
+                    ranges_[d].step);
+  }
+  return Subset(std::move(rs));
+}
+
+Subset Subset::hull(const Subset& a, const Subset& b) {
+  DACE_CHECK(a.dims() == b.dims(), "subset: hull rank mismatch");
+  std::vector<Range> rs;
+  for (size_t d = 0; d < a.dims(); ++d) {
+    rs.emplace_back(min(a.range(d).begin, b.range(d).begin),
+                    max(a.range(d).end, b.range(d).end));
+  }
+  return Subset(std::move(rs));
+}
+
+std::string Subset::to_string() const {
+  std::ostringstream os;
+  os << "[";
+  for (size_t d = 0; d < ranges_.size(); ++d) {
+    if (d) os << ", ";
+    os << ranges_[d].to_string();
+  }
+  os << "]";
+  return os.str();
+}
+
+}  // namespace dace::sym

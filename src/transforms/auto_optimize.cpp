@@ -1,0 +1,71 @@
+#include "transforms/auto_optimize.hpp"
+
+#include "transforms/loop_to_map.hpp"
+#include "transforms/map_fusion.hpp"
+#include "transforms/map_transforms.hpp"
+#include "transforms/memory.hpp"
+#include "transforms/simplify.hpp"
+
+namespace dace::xf {
+
+// Registered by the device modules (gpu/fpga); CPU needs no extra pass.
+void gpu_transform_sdfg(ir::SDFG& sdfg);   // gpu_transform.cpp
+void fpga_transform_sdfg(ir::SDFG& sdfg);  // fpga_transform.cpp
+
+void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
+                   const AutoOptOptions& opts) {
+  // Dataflow coarsening ("-O1").
+  if (opts.coarsen) simplify(sdfg);
+
+  // (1)+(2) Map-scope cleanup and greedy subgraph fusion. LoopToMap needs
+  // fused single-map loop bodies; fusion needs the states LoopToMap and
+  // state fusion produce -- iterate the passes jointly to fixpoint.
+  apply_repeated(sdfg, trivial_map_elimination);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    if (opts.fusion) changed |= apply_repeated(sdfg, map_fusion) > 0;
+    if (opts.coarsen && changed) simplify(sdfg);
+    if (opts.loop_to_map) {
+      bool converted = apply_repeated(sdfg, loop_to_map) > 0;
+      changed |= converted;
+      if (opts.coarsen && converted) simplify(sdfg);
+    }
+  }
+  if (opts.collapse) apply_repeated(sdfg, map_collapse);
+
+  // (3) Tile WCR maps to reduce atomic updates.
+  if (opts.tile_wcr) {
+    // Schedules must be known before tiling decides atomicity; set the
+    // target schedule first.
+    ir::Schedule sched = ir::Schedule::CPUParallel;
+    if (device == ir::DeviceType::GPU) sched = ir::Schedule::GPUDevice;
+    if (device == ir::DeviceType::FPGA) sched = ir::Schedule::FPGAPipeline;
+    set_toplevel_schedules(sdfg, sched, device == ir::DeviceType::CPU);
+    apply_repeated(sdfg, [&](ir::SDFG& g) {
+      return tile_wcr_map(g, opts.wcr_tile_size);
+    });
+  }
+
+  // (4) Transient allocation mitigation.
+  if (opts.transient_mitigation) mitigate_transient_allocation(sdfg);
+
+  // Device specialization.
+  switch (device) {
+    case ir::DeviceType::CPU:
+      set_toplevel_schedules(sdfg, ir::Schedule::CPUParallel,
+                             /*omp_collapse=*/true);
+      break;
+    case ir::DeviceType::GPU:
+      set_toplevel_schedules(sdfg, ir::Schedule::GPUDevice, false);
+      gpu_transform_sdfg(sdfg);
+      break;
+    case ir::DeviceType::FPGA:
+      set_toplevel_schedules(sdfg, ir::Schedule::FPGAPipeline, false);
+      fpga_transform_sdfg(sdfg);
+      break;
+  }
+  sdfg.validate();
+}
+
+}  // namespace dace::xf

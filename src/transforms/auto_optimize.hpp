@@ -1,0 +1,27 @@
+// The automatic optimization heuristics of Section 3.1 ("-O3").
+//
+// Pipeline: dataflow coarsening (simplify) -> map-scope cleanup
+// (degenerate map removal, repeated LoopToMap, map collapsing) -> greedy
+// subgraph fusion -> WCR map tiling -> transient allocation mitigation ->
+// device-specific scheduling ({CPU,GPU,FPGA} specialization).
+#pragma once
+
+#include "ir/sdfg.hpp"
+
+namespace dace::xf {
+
+struct AutoOptOptions {
+  bool coarsen = true;          // dataflow coarsening (simplify)
+  bool loop_to_map = true;      // map-scope cleanup: LoopToMap
+  bool collapse = true;         // map-scope cleanup: MapCollapse
+  bool fusion = true;           // greedy subgraph fusion
+  bool tile_wcr = true;         // tile WCR maps
+  bool transient_mitigation = true;
+  int64_t wcr_tile_size = 1024;
+};
+
+/// Run the full heuristic pipeline for the given device.
+void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
+                   const AutoOptOptions& opts = {});
+
+}  // namespace dace::xf

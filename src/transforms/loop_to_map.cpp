@@ -1,0 +1,454 @@
+#include "transforms/loop_to_map.hpp"
+
+#include <algorithm>
+
+namespace dace::xf {
+
+using ir::AccessNode;
+using ir::CodeExpr;
+using ir::CodeOp;
+using ir::Edge;
+using ir::MapEntry;
+using ir::MapExit;
+using ir::Memlet;
+using ir::NodeKind;
+using ir::SDFG;
+using ir::State;
+using ir::Tasklet;
+using sym::Expr;
+using sym::Subset;
+
+std::optional<Expr> code_to_sym(const CodeExpr& e) {
+  if (!e.valid()) return std::nullopt;
+  switch (e.op()) {
+    case CodeOp::Const: {
+      double v = e.value();
+      if (v != (double)(int64_t)v) return std::nullopt;
+      return Expr((int64_t)v);
+    }
+    case CodeOp::Sym:
+      return Expr::symbol(e.name());
+    case CodeOp::Add:
+    case CodeOp::Sub:
+    case CodeOp::Mul: {
+      auto a = code_to_sym(e.args()[0]);
+      auto b = code_to_sym(e.args()[1]);
+      if (!a || !b) return std::nullopt;
+      if (e.op() == CodeOp::Add) return *a + *b;
+      if (e.op() == CodeOp::Sub) return *a - *b;
+      return *a * *b;
+    }
+    case CodeOp::Neg: {
+      auto a = code_to_sym(e.args()[0]);
+      if (!a) return std::nullopt;
+      return -*a;
+    }
+    case CodeOp::Min:
+    case CodeOp::Max: {
+      auto a = code_to_sym(e.args()[0]);
+      auto b = code_to_sym(e.args()[1]);
+      if (!a || !b) return std::nullopt;
+      return e.op() == CodeOp::Min ? sym::min(*a, *b) : sym::max(*a, *b);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
+namespace {
+
+/// A detected guard/body/increment loop.
+struct Loop {
+  int guard = -1, body = -1;
+  size_t e_init = SIZE_MAX, e_body = SIZE_MAX, e_back = SIZE_MAX,
+         e_exit = SIZE_MAX;  // interstate edge indices
+  std::string var;
+  Expr begin, end, step;
+};
+
+std::optional<Loop> detect_loop(const SDFG& sdfg, int guard) {
+  const State& g = sdfg.state(guard);
+  if (g.num_nodes() != 0) return std::nullopt;
+  auto outs = sdfg.out_interstate(guard);
+  auto ins = sdfg.in_interstate(guard);
+  if (outs.size() != 2 || ins.size() != 2) return std::nullopt;
+  const auto& edges = sdfg.interstate_edges();
+
+  Loop L;
+  L.guard = guard;
+  // Identify the body edge: condition var < end.
+  for (size_t oi : outs) {
+    const auto& e = edges[oi];
+    if (!e.condition.valid() || !e.assignments.empty()) return std::nullopt;
+    if (e.condition.op() == CodeOp::Lt &&
+        e.condition.args()[0].op() == CodeOp::Sym) {
+      L.e_body = oi;
+      L.body = e.dst;
+      L.var = e.condition.args()[0].name();
+      auto end = code_to_sym(e.condition.args()[1]);
+      if (!end) return std::nullopt;
+      L.end = *end;
+    } else {
+      L.e_exit = oi;
+    }
+  }
+  if (L.var.empty() || L.body == guard || L.e_exit == SIZE_MAX)
+    return std::nullopt;
+  // Init and back edges.
+  bool have_init = false, have_back = false;
+  for (size_t ii : ins) {
+    const auto& e = edges[ii];
+    if (e.src == L.body) {
+      // Back edge: var = var + step.
+      if (e.condition.valid() || e.assignments.size() != 1) return std::nullopt;
+      if (e.assignments[0].first != L.var) return std::nullopt;
+      Expr step = e.assignments[0].second - Expr::symbol(L.var);
+      if (!step.free_symbols().empty() && !step.provably_positive())
+        return std::nullopt;
+      if (step.is_constant() && step.constant() <= 0) return std::nullopt;
+      L.step = step;
+      L.e_back = ii;
+      have_back = true;
+    } else {
+      // Init edge: last assignment sets var = begin.
+      bool found = false;
+      for (const auto& [k, v] : e.assignments) {
+        if (k == L.var) {
+          L.begin = v;
+          found = true;
+        }
+      }
+      if (!found) return std::nullopt;
+      L.e_init = ii;
+      have_init = true;
+    }
+  }
+  if (!have_init || !have_back) return std::nullopt;
+  // Body: single state whose only outgoing interstate edge is the back
+  // edge and only incoming is the body edge.
+  if (sdfg.out_interstate(L.body).size() != 1 ||
+      sdfg.in_interstate(L.body).size() != 1)
+    return std::nullopt;
+  // The loop variable must not be reassigned inside; body has no
+  // interstate assignments by construction (single back edge checked).
+  return L;
+}
+
+/// Widen a subset over all values of `var` in [begin, begin+iters*step).
+/// Returns nullopt when a bound is not provably monotone in var.
+std::optional<Subset> widen_over_var(const Subset& s, const std::string& var,
+                                     const Expr& begin, const Expr& end,
+                                     const Expr& step) {
+  Expr last = begin + (sym::ceildiv(end - begin, step) - Expr(1)) * step;
+  std::vector<sym::Range> rs;
+  for (size_t d = 0; d < s.dims(); ++d) {
+    const sym::Range& r = s.range(d);
+    if (!r.begin.free_symbols().count(var) &&
+        !r.end.free_symbols().count(var)) {
+      rs.push_back(r);
+      continue;
+    }
+    // Monotonicity probe on the begin expression.
+    sym::SubstMap p0{{var, Expr(0)}}, p1{{var, Expr(1)}};
+    Expr coef_b = r.begin.subs(p1) - r.begin.subs(p0);
+    Expr coef_e = r.end.subs(p1) - r.end.subs(p0);
+    sym::SubstMap lo{{var, begin}}, hi{{var, last}};
+    if (coef_b.provably_nonnegative() && coef_e.provably_nonnegative()) {
+      rs.emplace_back(r.begin.subs(lo), r.end.subs(hi));
+    } else if (coef_b.provably_nonpositive() && coef_e.provably_nonpositive()) {
+      rs.emplace_back(r.begin.subs(hi), r.end.subs(lo));
+    } else {
+      return std::nullopt;
+    }
+  }
+  return Subset(std::move(rs));
+}
+
+/// Per-container read/write subsets of a state's top-level dataflow
+/// (outer memlets on access-node edges).
+struct BodySets {
+  std::map<std::string, std::vector<Subset>> reads, writes;
+  std::map<std::string, std::vector<size_t>> write_edges;  // edge indices
+  bool simple = true;  // no intermediate arrays / unsupported nodes
+};
+
+BodySets analyze_body(const SDFG& sdfg, const State& st) {
+  BodySets b;
+  for (int id : st.node_ids()) {
+    const ir::Node* n = st.node(id);
+    if (n->kind == NodeKind::Access) {
+      const auto* a = static_cast<const AccessNode*>(n);
+      const ir::DataDesc& d = sdfg.array(a->data);
+      bool scalar_transient = d.is_scalar() && d.transient;
+      if (st.in_degree(id) > 0 && st.out_degree(id) > 0 &&
+          !scalar_transient) {
+        b.simple = false;  // intermediate array within the state
+      }
+      continue;
+    }
+    if (n->kind == NodeKind::Library || n->kind == NodeKind::NestedSDFG) {
+      if (st.scope_of(id) == -1) b.simple = false;
+    }
+  }
+  for (size_t ei = 0; ei < st.edges().size(); ++ei) {
+    const Edge& e = st.edges()[ei];
+    if (e.memlet.empty()) continue;
+    if (const auto* a = st.node_as<const AccessNode>(e.src)) {
+      if (a->data == e.memlet.data)
+        b.reads[e.memlet.data].push_back(e.memlet.subset);
+      if (e.memlet.dynamic) b.simple = false;
+    }
+    if (const auto* a = st.node_as<const AccessNode>(e.dst)) {
+      if (a->data == e.memlet.data) {
+        b.writes[e.memlet.data].push_back(e.memlet.subset);
+        b.write_edges[e.memlet.data].push_back(ei);
+        if (e.memlet.dynamic) b.simple = false;
+      }
+    }
+  }
+  return b;
+}
+
+/// Try to rewrite an accumulation map writing `data` into WCR form:
+/// tasklet `out = in_read(data) + rest` becomes `out = rest` with a
+/// WCR-sum write. Returns true on success.
+bool rewrite_accumulation(SDFG& sdfg, State& st, const std::string& data) {
+  (void)sdfg;
+  // Find the writer tasklet(s) through a map exit.
+  for (int tid : st.node_ids()) {
+    auto* t = st.node_as<Tasklet>(tid);
+    if (!t) continue;
+    // Output edge writing `data` (via exit or access).
+    size_t out_ei = SIZE_MAX;
+    for (size_t ei = 0; ei < st.edges().size(); ++ei) {
+      const Edge& e = st.edges()[ei];
+      if (e.src == tid && e.memlet.data == data &&
+          e.memlet.wcr == ir::WCR::None)
+        out_ei = ei;
+    }
+    if (out_ei == SIZE_MAX) continue;
+    const Subset w = st.edges()[out_ei].memlet.subset;
+    // Code must be Add(Input(c), rest) or Add(rest, Input(c)) with c
+    // reading `data` at the written element.
+    if (t->code.op() != CodeOp::Add) return false;
+    for (int side = 0; side < 2; ++side) {
+      const CodeExpr cand = t->code.args()[side];  // copy: t->code mutates
+      if (cand.op() != CodeOp::Input) continue;
+      // Find the in-edge feeding this connector.
+      size_t in_ei = SIZE_MAX;
+      for (size_t ei = 0; ei < st.edges().size(); ++ei) {
+        const Edge& e = st.edges()[ei];
+        if (e.dst == tid && e.dst_conn == cand.name()) in_ei = ei;
+      }
+      if (in_ei == SIZE_MAX) continue;
+      const Edge& ine = st.edges()[in_ei];
+      if (ine.memlet.data != data || !ine.memlet.subset.equals(w)) continue;
+      // The rest must not read `data` through other connectors.
+      const CodeExpr rest = t->code.args()[1 - side];
+      bool rest_reads = false;
+      for (const auto& conn : rest.free_inputs()) {
+        for (const auto* e : st.in_edges(tid)) {
+          if (e->dst_conn == conn && e->memlet.data == data)
+            rest_reads = true;
+        }
+      }
+      if (rest_reads) continue;
+      // Rewrite: drop the self-input, set WCR along the write path.
+      int entry_src = ine.src;
+      t->code = rest;
+      t->inputs.erase(
+          std::remove(t->inputs.begin(), t->inputs.end(), cand.name()),
+          t->inputs.end());
+      st.edges()[out_ei].memlet.wcr = ir::WCR::Sum;
+      // Propagate WCR through the exit to the outer access node.
+      if (const auto* mx = st.node_as<const MapExit>(st.edges()[out_ei].dst)) {
+        (void)mx;
+        int exit_id = st.edges()[out_ei].dst;
+        for (auto& e : st.edges()) {
+          if (e.src == exit_id && e.memlet.data == data)
+            e.memlet.wcr = ir::WCR::Sum;
+        }
+      }
+      st.remove_edge(in_ei);
+      // Remove the entry connector / outer read edge if now unused.
+      if (const auto* me = st.node_as<const MapEntry>(entry_src)) {
+        (void)me;
+        bool still_used = false;
+        for (const auto& e : st.edges()) {
+          if (e.src == entry_src && e.memlet.data == data) still_used = true;
+        }
+        if (!still_used) {
+          // Drop outer edges feeding IN_<data> and orphaned access nodes.
+          std::vector<int> dead_access;
+          st.remove_edges_if([&](const Edge& e) {
+            if (e.dst == entry_src && e.dst_conn == "IN_" + data) {
+              dead_access.push_back(e.src);
+              return true;
+            }
+            return false;
+          });
+          for (int aid : dead_access) {
+            if (st.in_degree(aid) == 0 && st.out_degree(aid) == 0)
+              st.remove_node(aid);
+          }
+        }
+      }
+      return true;
+    }
+    return false;
+  }
+  return false;
+}
+
+/// Enclose all top-level dataflow of `st` in a new map over `var`.
+void enclose_in_map(SDFG& sdfg, State& st, const std::string& var,
+                    const Expr& begin, const Expr& end, const Expr& step) {
+  auto [entry, exit] = st.add_map(
+      "loop_" + var, {var}, Subset({sym::Range(begin, end, step)}));
+  std::set<std::string> in_conns, out_conns;
+  std::vector<Edge> to_add;
+  std::vector<size_t> to_remove;
+  for (size_t ei = 0; ei < st.edges().size(); ++ei) {
+    const Edge& e = st.edges()[ei];
+    if (e.src == entry || e.dst == entry || e.src == exit || e.dst == exit)
+      continue;
+    const auto* asrc = st.node_as<const AccessNode>(e.src);
+    const auto* adst = st.node_as<const AccessNode>(e.dst);
+    // Only reroute edges between top-level access nodes and scope roots.
+    if (asrc && st.in_degree(e.src) == 0 && !adst) {
+      to_remove.push_back(ei);
+      const ir::DataDesc& d = sdfg.array(asrc->data);
+      if (!in_conns.count(asrc->data)) {
+        in_conns.insert(asrc->data);
+        auto widened = widen_over_var(e.memlet.subset, var, begin, end, step);
+        Memlet outer(asrc->data,
+                     widened ? *widened : Subset::full(d.shape));
+        outer.dynamic = !widened.has_value();
+        to_add.push_back(Edge{e.src, "", entry, "IN_" + asrc->data, outer});
+      }
+      to_add.push_back(Edge{entry, "OUT_" + asrc->data, e.dst, e.dst_conn,
+                            e.memlet});
+    } else if (adst && !asrc) {
+      const ir::DataDesc& dd = sdfg.array(adst->data);
+      // Intermediate scalar transients stay inside the new scope (they
+      // become thread-private registers).
+      if (dd.is_scalar() && dd.transient && st.out_degree(e.dst) > 0)
+        continue;
+      to_remove.push_back(ei);
+      const ir::DataDesc& d = sdfg.array(adst->data);
+      to_add.push_back(
+          Edge{e.src, e.src_conn, exit, "IN_" + adst->data, e.memlet});
+      if (!out_conns.count(adst->data)) {
+        out_conns.insert(adst->data);
+        auto widened = widen_over_var(e.memlet.subset, var, begin, end, step);
+        Memlet outer(adst->data,
+                     widened ? *widened : Subset::full(d.shape),
+                     e.memlet.wcr);
+        outer.dynamic = !widened.has_value();
+        to_add.push_back(Edge{exit, "OUT_" + adst->data, e.dst, "", outer});
+      }
+    }
+  }
+  std::sort(to_remove.rbegin(), to_remove.rend());
+  for (size_t ei : to_remove) st.remove_edge(ei);
+  for (const auto& e : to_add)
+    st.add_edge(e.src, e.src_conn, e.dst, e.dst_conn, e.memlet);
+}
+
+}  // namespace
+
+bool loop_to_map(SDFG& sdfg) {
+  for (int guard : sdfg.state_ids()) {
+    auto L = detect_loop(sdfg, guard);
+    if (!L) continue;
+    State& body = sdfg.state(L->body);
+
+    BodySets sets = analyze_body(sdfg, body);
+    if (!sets.simple) continue;
+
+    // Iteration-private scalars: scalar transients that are always
+    // written before read within the body and referenced nowhere else are
+    // privatized by the enclosing map (they become registers) and do not
+    // constrain parallelism.
+    auto privatizable = [&](const std::string& name) {
+      const ir::DataDesc& d = sdfg.array(name);
+      if (!d.is_scalar() || !d.transient) return false;
+      for (int id : body.node_ids()) {
+        const auto* a = body.node_as<const AccessNode>(id);
+        if (a && a->data == name && body.in_degree(id) == 0) return false;
+      }
+      return states_using(sdfg, name).size() == 1;
+    };
+
+    // Parallelism check per container.
+    bool parallel = true;
+    std::vector<std::string> need_wcr;
+    for (const auto& [name, writes] : sets.writes) {
+      if (privatizable(name)) continue;
+      // Writes across iterations must be disjoint:
+      // W(var) vs W(var + d*step) with d >= 1.
+      Expr shifted = Expr::symbol(L->var) + Expr::symbol("__l2m_d") * L->step;
+      bool disjoint_iters = true;
+      for (const auto& w : writes) {
+        Subset w2 = w.subs({{L->var, shifted}});
+        auto dj = Subset::disjoint(w, w2);
+        if (!dj || !*dj) disjoint_iters = false;
+      }
+      bool rw_same = true;
+      if (auto it = sets.reads.find(name); it != sets.reads.end()) {
+        for (const auto& r : it->second) {
+          bool matches_any = false;
+          for (const auto& w : writes) matches_any |= r.equals(w);
+          rw_same &= matches_any;
+        }
+      }
+      if (disjoint_iters && rw_same) continue;
+      if (!disjoint_iters && rw_same && sets.reads.count(name)) {
+        // Accumulation candidate (read-modify-write of the same elements
+        // in every iteration) -> WCR.
+        need_wcr.push_back(name);
+        continue;
+      }
+      parallel = false;
+      break;
+    }
+    if (!parallel) continue;
+
+    // Apply WCR rewrites (validated against the tasklet structure; bail
+    // if any accumulation cannot be expressed as WCR).
+    bool wcr_ok = true;
+    for (const auto& name : need_wcr) {
+      if (!rewrite_accumulation(sdfg, body, name)) {
+        wcr_ok = false;
+        break;
+      }
+    }
+    if (!wcr_ok) continue;  // body was not modified on failure (first op)
+
+    enclose_in_map(sdfg, body, L->var, L->begin, L->end, L->step);
+
+    // Control-flow surgery: predecessor -> body -> exit target.
+    auto& edges = sdfg.interstate_edges();
+    int pred = edges[L->e_init].src;
+    int exit_dst = edges[L->e_exit].dst;
+    std::vector<std::pair<std::string, sym::Expr>> init_assign;
+    for (const auto& [k, v] : edges[L->e_init].assignments) {
+      if (k != L->var) init_assign.emplace_back(k, v);
+    }
+    CodeExpr init_cond = edges[L->e_init].condition;
+    // Remove the four loop edges (indices shift; remove by identity).
+    std::set<size_t> dead{L->e_init, L->e_body, L->e_back, L->e_exit};
+    std::vector<ir::InterstateEdge> kept;
+    for (size_t i = 0; i < edges.size(); ++i) {
+      if (!dead.count(i)) kept.push_back(edges[i]);
+    }
+    edges = std::move(kept);
+    sdfg.add_interstate_edge(pred, L->body, init_cond, init_assign);
+    sdfg.add_interstate_edge(L->body, exit_dst);
+    sdfg.remove_state(L->guard);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace dace::xf

@@ -1,0 +1,22 @@
+// LoopToMap (Section 2.2): detects for-loops in the IR whose iterations
+// can safely execute in parallel (symbolic affine-expression analysis on
+// the body's read/write sets) and converts them to map scopes.
+//
+// Accumulation loops (every iteration read-modify-writes the same
+// elements, e.g. the convolution in resnet) are converted to maps with
+// write-conflict-resolution memlets instead -- this is what later yields
+// atomics on GPU (the resnet anomaly of Section 3.4.2).
+#pragma once
+
+#include "transforms/pass.hpp"
+
+namespace dace::xf {
+
+/// Convert one parallelizable guard/body/increment loop into a map.
+bool loop_to_map(ir::SDFG& sdfg);
+
+/// CodeExpr -> symbolic expression, when representable (integer ops over
+/// symbols and constants). Used to recover loop bounds from conditions.
+std::optional<sym::Expr> code_to_sym(const ir::CodeExpr& e);
+
+}  // namespace dace::xf

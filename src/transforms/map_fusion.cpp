@@ -1,0 +1,224 @@
+#include "transforms/map_fusion.hpp"
+
+#include <algorithm>
+
+namespace dace::xf {
+
+using ir::AccessNode;
+using ir::Edge;
+using ir::MapEntry;
+using ir::MapExit;
+using ir::Memlet;
+using ir::NodeKind;
+using ir::SDFG;
+using ir::State;
+using ir::Tasklet;
+
+namespace {
+
+struct Candidate {
+  int exit1, access, entry2;
+  std::string tmp;
+};
+
+/// Ranges equal dimension-wise (begin, end, step).
+bool ranges_equal(const sym::Subset& a, const sym::Subset& b) {
+  return a.equals(b);
+}
+
+std::vector<Candidate> find_candidates(const SDFG& sdfg, const State& st) {
+  std::vector<Candidate> out_list;
+  for (int aid : st.node_ids()) {
+    const auto* acc = st.node_as<const AccessNode>(aid);
+    if (!acc) continue;
+    const ir::DataDesc& d = sdfg.array(acc->data);
+    if (!d.transient || d.is_stream || d.lifetime == ir::Lifetime::Persistent)
+      continue;
+    auto in = st.in_edges(aid);
+    auto out = st.out_edges(aid);
+    if (in.size() != 1 || out.empty()) continue;
+    const auto* mx = st.node_as<const MapExit>(in[0]->src);
+    if (!mx || in[0]->memlet.wcr != ir::WCR::None) continue;
+    // All consumers must be the same map entry.
+    int entry2 = out[0]->dst;
+    const auto* me2 = st.node_as<const MapEntry>(entry2);
+    if (!me2) continue;
+    bool same = true;
+    for (const auto* e : out) same &= e->dst == entry2;
+    if (!same) continue;
+    // Top-level scopes only.
+    if (st.scope_of(mx->entry_node) != -1 || st.scope_of(entry2) != -1)
+      continue;
+    // tmp used nowhere else.
+    if (states_using(sdfg, acc->data).size() != 1) continue;
+    bool elsewhere = false;
+    for (int nid : st.node_ids()) {
+      const auto* other = st.node_as<const AccessNode>(nid);
+      if (other && nid != aid && other->data == acc->data) elsewhere = true;
+    }
+    if (elsewhere) continue;
+    out_list.push_back(Candidate{in[0]->src, aid, entry2, acc->data});
+  }
+  return out_list;
+}
+
+}  // namespace
+
+bool map_fusion(SDFG& sdfg) {
+  for (int sid : sdfg.state_ids()) {
+    State& st = sdfg.state(sid);
+    for (const Candidate& c : find_candidates(sdfg, st)) {
+      auto* mx1 = st.node_as<MapExit>(c.exit1);
+      int entry1 = mx1->entry_node;
+      auto* me1 = st.node_as<MapEntry>(entry1);
+      auto* me2 = st.node_as<MapEntry>(c.entry2);
+      int exit2 = me2->exit_node;
+
+      bool ok = me1->params.size() == me2->params.size();
+      // Rename m2's params to m1's (through fresh names to avoid clashes)
+      // on a trial basis is destructive; instead compare ranges after
+      // positional substitution.
+      sym::SubstMap p2to1;
+      std::map<std::string, ir::CodeExpr> p2to1c;
+      if (ok) {
+        for (size_t i = 0; i < me1->params.size(); ++i) {
+          if (me2->params[i] != me1->params[i]) {
+            p2to1[me2->params[i]] = sym::Expr::symbol(me1->params[i]);
+            p2to1c[me2->params[i]] = ir::CodeExpr::symbol(me1->params[i]);
+          }
+        }
+        sym::Subset r2 = me2->range;
+        std::vector<sym::Range> rs;
+        for (const auto& r : r2.ranges()) rs.push_back(r.subs(p2to1));
+        ok = ranges_equal(me1->range, sym::Subset(rs));
+      }
+
+      // Producer: the unique inner edge into exit1's IN_tmp.
+      int producer = -1;
+      sym::Subset prod_elem;
+      if (ok) {
+        int count = 0;
+        for (const auto* e : st.in_edges(c.exit1)) {
+          if (e->dst_conn == "IN_" + c.tmp) {
+            ++count;
+            producer = e->src;
+            prod_elem = e->memlet.subset;
+            ok &= e->memlet.wcr == ir::WCR::None;
+          }
+        }
+        ok &= count == 1 && producer >= 0 &&
+              st.node(producer)->kind == NodeKind::Tasklet;
+      }
+
+      // Consumers: inner edges entry2 OUT_tmp -> tasklet must read the
+      // produced element (after renaming).
+      std::vector<size_t> consumer_edges;
+      if (ok) {
+        for (size_t ei = 0; ei < st.edges().size(); ++ei) {
+          const Edge& e = st.edges()[ei];
+          if (e.src == c.entry2 && e.src_conn == "OUT_" + c.tmp) {
+            if (st.node(e.dst)->kind != NodeKind::Tasklet) {
+              ok = false;
+              break;
+            }
+            sym::Subset read = e.memlet.subset.subs(p2to1);
+            if (!read.equals(prod_elem)) {
+              ok = false;
+              break;
+            }
+            consumer_edges.push_back(ei);
+          }
+        }
+        ok &= !consumer_edges.empty();
+      }
+
+      // Cross-container hazards: containers written by m2 that m1 reads
+      // must be accessed at identical per-iteration elements; containers
+      // written by both are rejected.
+      if (ok) {
+        std::map<std::string, std::vector<sym::Subset>> m1_reads, m1_writes,
+            m2_writes;
+        for (const auto* e : st.out_edges(entry1)) {
+          if (!e->memlet.empty()) m1_reads[e->memlet.data].push_back(e->memlet.subset);
+        }
+        for (const auto* e : st.in_edges(c.exit1)) {
+          if (!e->memlet.empty()) m1_writes[e->memlet.data].push_back(e->memlet.subset);
+        }
+        for (const auto* e : st.in_edges(exit2)) {
+          if (!e->memlet.empty())
+            m2_writes[e->memlet.data].push_back(e->memlet.subset.subs(p2to1));
+        }
+        for (const auto& [name, writes] : m2_writes) {
+          if (name == c.tmp) continue;
+          if (m1_writes.count(name)) {
+            ok = false;
+            break;
+          }
+          if (auto it = m1_reads.find(name); it != m1_reads.end()) {
+            for (const auto& w : writes) {
+              for (const auto& r : it->second) {
+                if (!w.equals(r)) ok = false;
+              }
+            }
+          }
+        }
+      }
+
+      if (!ok) continue;  // try the next candidate
+
+      // ---- Apply ----
+      // 1. Rename m2 params for real.
+      rename_map_params(st, c.entry2, me1->params);
+      // 2. Remove producer -> exit1 edge and exit1 -> access(tmp) edge.
+      st.remove_edges_if([&](const Edge& e) {
+        return (e.src == producer && e.dst == c.exit1 &&
+                e.dst_conn == "IN_" + c.tmp) ||
+               (e.src == c.exit1 && e.dst == c.access) ||
+               (e.src == c.access && e.dst == c.entry2);
+      });
+      // 3. Rewire consumer edges: producer tasklet feeds them directly.
+      //    (collect target conns first; indices shift after removal)
+      std::vector<std::pair<int, std::string>> targets;
+      for (const auto& e : st.edges()) {
+        if (e.src == c.entry2 && e.src_conn == "OUT_" + c.tmp)
+          targets.emplace_back(e.dst, e.dst_conn);
+      }
+      st.remove_edges_if([&](const Edge& e) {
+        return e.src == c.entry2 && e.src_conn == "OUT_" + c.tmp;
+      });
+      for (const auto& [dst, conn] : targets) {
+        st.add_edge(producer, "__out", dst, conn, Memlet());
+      }
+      // 4. Re-route m2's other inputs through entry1.
+      for (auto& e : st.edges()) {
+        if (e.dst == c.entry2) e.dst = entry1;
+        if (e.src == c.entry2) e.src = entry1;
+        if (e.dst == exit2) e.dst = c.exit1;
+        if (e.src == exit2) e.src = c.exit1;
+      }
+      // Deduplicate identical outer input edges (same src access node and
+      // connector).
+      {
+        std::set<std::string> seen;
+        std::vector<Edge> kept;
+        for (const auto& e : st.edges()) {
+          if (e.dst == entry1 && !e.dst_conn.empty()) {
+            std::string key = std::to_string(e.src) + "|" + e.dst_conn + "|" +
+                              e.src_conn;
+            if (!seen.insert(key).second) continue;
+          }
+          kept.push_back(e);
+        }
+        st.edges() = std::move(kept);
+      }
+      st.remove_node(c.access);
+      st.remove_node(c.entry2);
+      st.remove_node(exit2);
+      if (!container_referenced(sdfg, c.tmp)) sdfg.remove_array(c.tmp);
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace dace::xf

@@ -1,0 +1,19 @@
+// Greedy subgraph (map) fusion -- the centerpiece of the auto-optimizer
+// (Section 3.1, pass 2).
+//
+// Two top-level maps connected through a transient array are fused when
+// their iteration spaces match and, per iteration, the consumer reads
+// exactly the element the producer wrote (checked with symbolic
+// comparisons on the memlets).  The intermediate array collapses into a
+// direct tasklet-to-tasklet value, removing a full memory round trip --
+// the effect responsible for the stencil speedups in Figs. 7 and 8.
+#pragma once
+
+#include "transforms/pass.hpp"
+
+namespace dace::xf {
+
+/// Fuse one producer/consumer map pair; returns true if fused.
+bool map_fusion(ir::SDFG& sdfg);
+
+}  // namespace dace::xf

@@ -1,0 +1,48 @@
+#include "transforms/memory.hpp"
+
+namespace dace::xf {
+
+bool mitigate_transient_allocation(ir::SDFG& sdfg,
+                                   int64_t stack_limit_elems) {
+  bool changed = false;
+  // Symbols assigned on interstate edges (loop variables) are not input
+  // parameters; shapes depending on them cannot be persistent.
+  std::set<std::string> assigned;
+  for (const auto& e : sdfg.interstate_edges()) {
+    for (const auto& [k, v] : e.assignments) {
+      (void)v;
+      assigned.insert(k);
+    }
+  }
+  // Collect names first: we only mutate descriptors, not the map.
+  for (const auto& name : [&] {
+         std::vector<std::string> names;
+         for (const auto& [n, d] : sdfg.arrays()) {
+           if (d.transient && !d.is_stream) names.push_back(n);
+         }
+         return names;
+       }()) {
+    ir::DataDesc& d = sdfg.array(name);
+    // Constant-size small arrays -> stack.
+    auto n = d.num_elements();
+    if (n.is_constant() && n.constant() <= stack_limit_elems &&
+        d.storage == ir::Storage::Default && !d.is_scalar()) {
+      d.storage = ir::Storage::CPUStack;
+      changed = true;
+      continue;
+    }
+    // Sizes depending only on input symbols -> persistent.
+    bool input_only = true;
+    for (const auto& s : d.shape) {
+      for (const auto& fs : s.free_symbols()) input_only &= !assigned.count(fs);
+    }
+    if (input_only && !d.is_scalar() &&
+        d.lifetime == ir::Lifetime::Scope) {
+      d.lifetime = ir::Lifetime::Persistent;
+      changed = true;
+    }
+  }
+  return changed;
+}
+
+}  // namespace dace::xf

@@ -1,0 +1,15 @@
+// Transient allocation mitigation (Section 3.1 pass 4).
+#pragma once
+
+#include "transforms/pass.hpp"
+
+namespace dace::xf {
+
+/// Move constant-sized small transients to the stack and make transients
+/// whose size depends only on input symbols persistent (allocated once
+/// per SDFG initialization), nearly eliminating dynamic allocation in the
+/// steady state.
+bool mitigate_transient_allocation(ir::SDFG& sdfg,
+                                   int64_t stack_limit_elems = 256);
+
+}  // namespace dace::xf

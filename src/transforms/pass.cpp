@@ -1,0 +1,75 @@
+#include "transforms/pass.hpp"
+
+namespace dace::xf {
+
+int apply_repeated(ir::SDFG& sdfg, const Transformation& t,
+                   int max_iterations) {
+  int n = 0;
+  while (n < max_iterations && t(sdfg)) ++n;
+  return n;
+}
+
+void rename_map_params(ir::State& st, int entry,
+                       const std::vector<std::string>& new_params) {
+  auto* me = st.node_as<ir::MapEntry>(entry);
+  DACE_CHECK(me != nullptr, "rename_map_params: not a map entry");
+  DACE_CHECK(me->params.size() == new_params.size(),
+             "rename_map_params: rank mismatch");
+  sym::SubstMap smap;
+  std::map<std::string, ir::CodeExpr> cmap;
+  bool any = false;
+  for (size_t i = 0; i < new_params.size(); ++i) {
+    if (me->params[i] == new_params[i]) continue;
+    smap[me->params[i]] = sym::Expr::symbol(new_params[i]);
+    cmap[me->params[i]] = ir::CodeExpr::symbol(new_params[i]);
+    any = true;
+  }
+  if (!any) return;
+  std::vector<int> scope = st.scope_nodes(entry);
+  std::set<int> scope_set(scope.begin(), scope.end());
+  scope_set.insert(entry);
+  scope_set.insert(me->exit_node);
+  for (auto& e : st.edges()) {
+    // Inner edges: either endpoint inside the scope (incl. entry/exit
+    // connectors on the inside).
+    bool inner = scope_set.count(e.src) && scope_set.count(e.dst);
+    if (inner && !e.memlet.empty()) e.memlet.subset = e.memlet.subset.subs(smap);
+  }
+  for (int id : scope) {
+    if (auto* t = st.node_as<ir::Tasklet>(id)) {
+      t->code = t->code.subs_symbols(cmap);
+    } else if (auto* m = st.node_as<ir::MapEntry>(id)) {
+      sym::Subset r = m->range;
+      std::vector<sym::Range> rs;
+      for (const auto& rr : r.ranges()) rs.push_back(rr.subs(smap));
+      m->range = sym::Subset(rs);
+    }
+  }
+  me->params = new_params;
+}
+
+bool is_identity_tasklet(const ir::Tasklet& t) {
+  return t.code.op() == ir::CodeOp::Input && t.inputs.size() == 1;
+}
+
+std::vector<int> states_using(const ir::SDFG& sdfg, const std::string& name) {
+  std::vector<int> out;
+  for (int sid : sdfg.state_ids()) {
+    const ir::State& st = sdfg.state(sid);
+    bool used = false;
+    for (int nid : st.node_ids()) {
+      if (const auto* a = st.node_as<ir::AccessNode>(nid)) {
+        used |= a->data == name;
+      }
+    }
+    for (const auto& e : st.edges()) used |= e.memlet.data == name;
+    if (used) out.push_back(sid);
+  }
+  return out;
+}
+
+bool container_referenced(const ir::SDFG& sdfg, const std::string& name) {
+  return !states_using(sdfg, name).empty();
+}
+
+}  // namespace dace::xf

@@ -1,0 +1,44 @@
+// Transformation framework (Section 2.4 / 3.1).
+//
+// Transformations match a subgraph pattern and, when safe (checked with
+// symbolic set operations), rewrite the graph.  They only modify or remove
+// elements, so repeated application terminates.  apply_repeated() runs a
+// transformation to fixpoint, mirroring the paper's dataflow-coarsening
+// pass; auto_optimize.hpp chains them into the -O3-equivalent pipeline.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ir/sdfg.hpp"
+
+namespace dace::xf {
+
+/// A transformation: scans the SDFG and applies itself at most once.
+/// Returns true if the graph changed.
+using Transformation = std::function<bool(ir::SDFG&)>;
+
+/// Apply `t` until fixpoint; returns the number of applications.
+int apply_repeated(ir::SDFG& sdfg, const Transformation& t,
+                   int max_iterations = 10000);
+
+// -- shared graph-surgery helpers -------------------------------------------
+
+/// Rename map parameters of a scope: substitutes the symbols in all memlet
+/// subsets and tasklet code inside the scope and updates the entry.
+void rename_map_params(ir::State& st, int entry,
+                       const std::vector<std::string>& new_params);
+
+/// True if a tasklet is the identity function of its single input.
+bool is_identity_tasklet(const ir::Tasklet& t);
+
+/// All states (ids) in which a container is referenced by an access node
+/// or memlet.
+std::vector<int> states_using(const ir::SDFG& sdfg, const std::string& name);
+
+/// True if `name` is referenced anywhere (access node, memlet, library
+/// attribute) in the SDFG.
+bool container_referenced(const ir::SDFG& sdfg, const std::string& name);
+
+}  // namespace dace::xf

@@ -1,0 +1,291 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.hpp"
+#include "frontend/lowering.hpp"
+#include "frontend/parser.hpp"
+
+namespace dace::fe {
+namespace {
+
+TEST(Lexer, BasicTokens) {
+  auto toks = tokenize("x = a + 3.5\n");
+  ASSERT_GE(toks.size(), 6u);
+  EXPECT_EQ(toks[0].kind, Tok::Name);
+  EXPECT_EQ(toks[0].text, "x");
+  EXPECT_EQ(toks[1].text, "=");
+  EXPECT_EQ(toks[4].kind, Tok::Number);
+  EXPECT_DOUBLE_EQ(toks[4].num, 3.5);
+}
+
+TEST(Lexer, IndentationBlocks) {
+  auto toks = tokenize("a\n  b\n  c\nd\n");
+  int indents = 0, dedents = 0;
+  for (const auto& t : toks) {
+    indents += (t.kind == Tok::Indent);
+    dedents += (t.kind == Tok::Dedent);
+  }
+  EXPECT_EQ(indents, 1);
+  EXPECT_EQ(dedents, 1);
+}
+
+TEST(Lexer, BracketsSuppressNewlines) {
+  auto toks = tokenize("f(a,\n  b)\n");
+  int newlines = 0;
+  for (const auto& t : toks) newlines += (t.kind == Tok::Newline);
+  EXPECT_EQ(newlines, 1);
+}
+
+TEST(Lexer, CommentsSkipped) {
+  auto toks = tokenize("# header\nx = 1  # trailing\n");
+  EXPECT_EQ(toks[0].text, "x");
+}
+
+TEST(Parser, FunctionWithAnnotations) {
+  Module m = parse(R"(
+@dace.program
+def axpy(alpha: dace.float64, x: dace.float64[N], y: dace.float64[N]):
+    y[:] = alpha * x + y
+)");
+  ASSERT_EQ(m.functions.size(), 1u);
+  const Function& f = m.functions[0];
+  EXPECT_EQ(f.name, "axpy");
+  ASSERT_EQ(f.params.size(), 3u);
+  EXPECT_TRUE(f.params[0].shape.empty());
+  ASSERT_EQ(f.params[1].shape.size(), 1u);
+  EXPECT_EQ(f.params[1].shape[0].to_string(), "N");
+  ASSERT_EQ(f.body.size(), 1u);
+  EXPECT_EQ(f.body[0]->kind, StKind::Assign);
+}
+
+TEST(Parser, DecoratorKeywords) {
+  Module m = parse(R"(
+@dace.program(auto_optimize=True, device=DeviceType.GPU)
+def f(x: dace.float64[N]):
+    x[:] = x + 1.0
+)");
+  EXPECT_TRUE(m.functions[0].auto_optimize);
+  ASSERT_TRUE(m.functions[0].device.has_value());
+  EXPECT_EQ(*m.functions[0].device, ir::DeviceType::GPU);
+}
+
+TEST(Parser, OperatorPrecedence) {
+  ExprPtr e = parse_expression("a + b * c");
+  ASSERT_EQ(e->kind, ExKind::BinOp);
+  EXPECT_EQ(e->name, "+");
+  EXPECT_EQ(e->args[1]->name, "*");
+  ExprPtr m = parse_expression("alpha * A @ B");
+  // '*' and '@' share precedence, left-assoc: (alpha * A) @ B.
+  EXPECT_EQ(m->name, "@");
+  EXPECT_EQ(m->args[0]->name, "*");
+}
+
+TEST(Parser, PowerIsRightAssociative) {
+  ExprPtr e = parse_expression("a ** b ** c");
+  EXPECT_EQ(e->name, "**");
+  EXPECT_EQ(e->args[1]->name, "**");
+}
+
+TEST(Parser, Slices) {
+  ExprPtr e = parse_expression("A[1:-1, i, :]");
+  ASSERT_EQ(e->kind, ExKind::Subscript);
+  ASSERT_EQ(e->slices.size(), 3u);
+  EXPECT_FALSE(e->slices[0].is_index);
+  EXPECT_TRUE(e->slices[1].is_index);
+  EXPECT_FALSE(e->slices[2].is_index);
+  EXPECT_EQ(e->slices[2].begin, nullptr);
+  EXPECT_EQ(e->slices[2].end, nullptr);
+}
+
+TEST(Parser, DottedNamesAndCalls) {
+  ExprPtr e = parse_expression("np.sum(A, axis=0)");
+  ASSERT_EQ(e->kind, ExKind::Call);
+  EXPECT_EQ(e->base->name, "np.sum");
+  ASSERT_EQ(e->kwargs.size(), 1u);
+  EXPECT_EQ(e->kwargs[0].first, "axis");
+}
+
+TEST(Parser, ForLoopAndIf) {
+  Module m = parse(R"(
+@dace.program
+def f(A: dace.float64[N], TSTEPS: dace.int32):
+    for t in range(1, TSTEPS):
+        A[:] = A + 1.0
+    if N > 4:
+        A[:] = A * 2.0
+    else:
+        A[:] = A * 3.0
+)");
+  const auto& body = m.functions[0].body;
+  ASSERT_EQ(body.size(), 2u);
+  EXPECT_EQ(body[0]->kind, StKind::For);
+  EXPECT_EQ(body[1]->kind, StKind::If);
+  EXPECT_EQ(body[1]->orelse.size(), 1u);
+}
+
+TEST(Parser, DaceMapLoop) {
+  Module m = parse(R"(
+@dace.program
+def f(A: dace.float64[M, N], B: dace.float64[N, M]):
+    for i, j in dace.map[0:M, 0:N]:
+        A[i, j] = B[j, i]
+)");
+  const auto& st = m.functions[0].body[0];
+  EXPECT_EQ(st->kind, StKind::For);
+  EXPECT_EQ(st->loop_vars, (std::vector<std::string>{"i", "j"}));
+  EXPECT_EQ(st->iter->kind, ExKind::Subscript);
+}
+
+TEST(Parser, RejectsReturn) {
+  EXPECT_THROW(parse(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    return A
+)"),
+               Error);
+}
+
+TEST(Parser, ReportsLineNumbers) {
+  try {
+    parse("@dace.program\ndef f(A: dace.badtype):\n    pass\n");
+    FAIL() << "expected parse error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("dace.badtype"), std::string::npos);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Lowering
+// ---------------------------------------------------------------------------
+
+TEST(Lowering, GemmProducesLibraryAndMaps) {
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def gemm(alpha: dace.float64, beta: dace.float64, C: dace.float64[NI, NJ],
+         A: dace.float64[NI, NK], B: dace.float64[NK, NJ]):
+    C[:] = alpha * A @ B + beta * C
+)");
+  EXPECT_NO_THROW(sdfg->validate());
+  // Direct translation: one state per operation (alpha*A, @, beta*C, +,
+  // assignment) plus init.
+  EXPECT_GE(sdfg->num_states(), 5);
+  int libs = 0, maps = 0;
+  for (int sid : sdfg->state_ids()) {
+    for (int nid : sdfg->state(sid).node_ids()) {
+      libs += sdfg->state(sid).node(nid)->kind == ir::NodeKind::Library;
+      maps += sdfg->state(sid).node(nid)->kind == ir::NodeKind::MapEntry;
+    }
+  }
+  EXPECT_EQ(libs, 1);
+  EXPECT_GE(maps, 4);
+  // Integer scalar argument is absent; float scalars are containers.
+  EXPECT_TRUE(sdfg->has_array("alpha"));
+  EXPECT_TRUE(sdfg->free_symbols().count("NI"));
+}
+
+TEST(Lowering, RangeLoopBecomesGuardedStates) {
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N], TSTEPS: dace.int32):
+    for t in range(1, TSTEPS):
+        A[:] = A + 1.0
+)");
+  EXPECT_NO_THROW(sdfg->validate());
+  EXPECT_TRUE(sdfg->symbols().count("t"));
+  // At least one conditional interstate edge exists (the guard).
+  int conditional = 0;
+  for (const auto& e : sdfg->interstate_edges())
+    conditional += e.condition.valid();
+  EXPECT_GE(conditional, 2);  // enter and exit conditions
+  // TSTEPS is a symbol, not a container.
+  EXPECT_FALSE(sdfg->has_array("TSTEPS"));
+  EXPECT_TRUE(sdfg->free_symbols().count("TSTEPS"));
+}
+
+TEST(Lowering, WcrDetectionInMapBody) {
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(alpha: dace.float64, C: dace.float64[NI, NJ]):
+    for i, j in dace.map[0:NI, 0:NJ]:
+        alpha += C[i, j]
+)");
+  EXPECT_NO_THROW(sdfg->validate());
+  bool found_wcr = false;
+  for (int sid : sdfg->state_ids()) {
+    for (const auto& e : sdfg->state(sid).edges())
+      found_wcr |= e.memlet.wcr == ir::WCR::Sum;
+  }
+  EXPECT_TRUE(found_wcr);
+}
+
+TEST(Lowering, NoWcrWhenIndicesCoverParams) {
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[M, N]):
+    for i, j in dace.map[0:M, 0:N]:
+        A[i, j] += 1.0
+)");
+  EXPECT_NO_THROW(sdfg->validate());
+  for (int sid : sdfg->state_ids()) {
+    for (const auto& e : sdfg->state(sid).edges())
+      EXPECT_EQ(e.memlet.wcr, ir::WCR::None);
+  }
+}
+
+TEST(Lowering, NegativeSliceBoundsUseSymbolicSizes) {
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N], B: dace.float64[N]):
+    B[1:-1] = A[1:-1] * 2.0
+)");
+  EXPECT_NO_THROW(sdfg->validate());
+  // Find a memlet with end N-1.
+  bool found = false;
+  for (int sid : sdfg->state_ids()) {
+    for (const auto& e : sdfg->state(sid).edges()) {
+      if (e.memlet.empty() || e.memlet.subset.dims() != 1) continue;
+      if (e.memlet.subset.range(0).end.to_string() == "N - 1") found = true;
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Lowering, AllocationCallsCreateTransients) {
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N, M]):
+    tmp = np.zeros((N, M), dtype=A.dtype)
+    A[:] = tmp
+)");
+  EXPECT_NO_THROW(sdfg->validate());
+  ASSERT_TRUE(sdfg->has_array("tmp"));
+  EXPECT_TRUE(sdfg->array("tmp").transient);
+  EXPECT_EQ(sdfg->array("tmp").dtype, ir::DType::f64);
+}
+
+TEST(Lowering, UnknownNameFailsWithLocation) {
+  try {
+    compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    A[:] = bogus + 1.0
+)");
+    FAIL() << "expected lowering error";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("bogus"), std::string::npos);
+  }
+}
+
+TEST(Lowering, PythonRestrictionControlDependentVariables) {
+  // Section 2.5 restriction (3): control-dependent variable state.
+  EXPECT_THROW(compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    if N > 5:
+        y = np.zeros((5,), dtype=np.float64)
+    A[0:5] = y
+)"),
+               Error);
+}
+
+}  // namespace
+}  // namespace dace::fe

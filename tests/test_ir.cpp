@@ -1,0 +1,194 @@
+#include "ir/sdfg.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dace::ir {
+namespace {
+
+using sym::Expr;
+using sym::Range;
+using sym::S;
+using sym::Subset;
+
+// Build: out[i] = a[i] * 2 over a map, the canonical single-map state.
+std::unique_ptr<SDFG> make_scale_sdfg() {
+  auto sdfg = std::make_unique<SDFG>("scale");
+  sdfg->add_array("a", DType::f64, {S("N")});
+  sdfg->add_array("out", DType::f64, {S("N")});
+  sdfg->add_arg("a");
+  sdfg->add_arg("out");
+  State& st = sdfg->add_state("main", true);
+  int na = st.add_access("a");
+  int no = st.add_access("out");
+  auto [me, mx] = st.add_map("m", {"i"}, Subset({Range(Expr(0), S("N"))}));
+  CodeExpr code = CodeExpr::binary(CodeOp::Mul, CodeExpr::input("x"),
+                                   CodeExpr::constant(2.0));
+  int tl = st.add_tasklet("t", {"x"}, code);
+  st.add_edge(na, "", me, "IN_a", Memlet("a", Subset::full({S("N")})));
+  st.add_edge(me, "OUT_a", tl, "x",
+              Memlet("a", Subset::element({S("i")})));
+  st.add_edge(tl, "__out", mx, "IN_out",
+              Memlet("out", Subset::element({S("i")})));
+  st.add_edge(mx, "OUT_out", no, "",
+              Memlet("out", Subset::full({S("N")})));
+  return sdfg;
+}
+
+TEST(IR, BuildAndValidate) {
+  auto sdfg = make_scale_sdfg();
+  EXPECT_NO_THROW(sdfg->validate());
+  EXPECT_EQ(sdfg->num_states(), 1);
+  auto fs = sdfg->free_symbols();
+  EXPECT_TRUE(fs.count("N"));
+  EXPECT_FALSE(fs.count("i"));  // bound by the map
+}
+
+TEST(IR, TopologicalOrder) {
+  auto sdfg = make_scale_sdfg();
+  const State& st = sdfg->state(0);
+  auto order = st.topological_order();
+  EXPECT_EQ(order.size(), 5u);
+  // access(a) before entry before tasklet before exit before access(out).
+  auto pos = [&](int id) {
+    return std::find(order.begin(), order.end(), id) - order.begin();
+  };
+  EXPECT_LT(pos(0), pos(2));
+  EXPECT_LT(pos(2), pos(4));
+  EXPECT_LT(pos(4), pos(3));
+  EXPECT_LT(pos(3), pos(1));
+}
+
+TEST(IR, ScopeQueries) {
+  auto sdfg = make_scale_sdfg();
+  const State& st = sdfg->state(0);
+  // Node 2 = map entry, 3 = exit, 4 = tasklet.
+  auto scope = st.scope_nodes(2);
+  EXPECT_EQ(scope.size(), 1u);
+  EXPECT_EQ(scope[0], 4);
+  EXPECT_EQ(st.scope_of(4), 2);
+  EXPECT_EQ(st.scope_of(0), -1);
+}
+
+TEST(IR, CycleDetection) {
+  SDFG sdfg("cyc");
+  sdfg.add_array("a", DType::f64, {Expr(4)});
+  State& st = sdfg.add_state("s", true);
+  int t1 = st.add_tasklet("t1", {"x"}, CodeExpr::input("x"));
+  int t2 = st.add_tasklet("t2", {"x"}, CodeExpr::input("x"));
+  st.add_edge(t1, "__out", t2, "x", Memlet("a", Subset::element({Expr(0)})));
+  st.add_edge(t2, "__out", t1, "x", Memlet("a", Subset::element({Expr(0)})));
+  EXPECT_THROW(st.topological_order(), Error);
+}
+
+TEST(IR, ValidationCatchesUnknownContainer) {
+  SDFG sdfg("bad");
+  State& st = sdfg.add_state("s", true);
+  st.add_access("ghost");
+  EXPECT_THROW(sdfg.validate(), Error);
+}
+
+TEST(IR, ValidationCatchesRankMismatch) {
+  SDFG sdfg("bad2");
+  sdfg.add_array("a", DType::f64, {S("N"), S("N")});
+  State& st = sdfg.add_state("s", true);
+  int na = st.add_access("a");
+  int tl = st.add_tasklet("t", {"x"}, CodeExpr::input("x"));
+  int no = st.add_access("a");
+  st.add_edge(na, "", tl, "x", Memlet("a", Subset::element({Expr(0)})));
+  st.add_edge(tl, "__out", no, "", Memlet("a", Subset::element({Expr(0)})));
+  EXPECT_THROW(sdfg.validate(), Error);
+}
+
+TEST(IR, ValidationCatchesUnboundTaskletInput) {
+  SDFG sdfg("bad3");
+  sdfg.add_array("a", DType::f64, {Expr(4)});
+  State& st = sdfg.add_state("s", true);
+  int tl = st.add_tasklet("t", {"x"}, CodeExpr::input("x"));
+  int no = st.add_access("a");
+  st.add_edge(tl, "__out", no, "", Memlet("a", Subset::element({Expr(0)})));
+  EXPECT_THROW(sdfg.validate(), Error);
+}
+
+TEST(IR, CloneIsDeep) {
+  auto sdfg = make_scale_sdfg();
+  auto copy = sdfg->clone();
+  copy->state(0).node_as<Tasklet>(4)->name = "renamed";
+  EXPECT_EQ(sdfg->state(0).node_as<Tasklet>(4)->name, "t");
+  EXPECT_EQ(copy->state(0).node_as<Tasklet>(4)->name, "renamed");
+  EXPECT_NO_THROW(copy->validate());
+}
+
+TEST(IR, InterstateEdgesAndStateOrder) {
+  SDFG sdfg("cfg");
+  sdfg.add_state("a", true);
+  sdfg.add_state("b");
+  sdfg.add_state("c");
+  sdfg.add_interstate_edge(0, 1);
+  sdfg.add_interstate_edge(1, 2, CodeExpr::binary(CodeOp::Lt,
+                                                  CodeExpr::symbol("i"),
+                                                  CodeExpr::constant(5)));
+  auto order = sdfg.state_order();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+  EXPECT_TRUE(sdfg.free_symbols().count("i"));
+}
+
+TEST(IR, AddStateBetweenRedirects) {
+  SDFG sdfg("mid");
+  sdfg.add_state("a", true);
+  sdfg.add_state("b");
+  sdfg.add_interstate_edge(0, 1);
+  sdfg.add_state_between(0, 1, "mid");
+  auto order = sdfg.state_order();
+  ASSERT_EQ(order.size(), 3u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 2);
+  EXPECT_EQ(order[2], 1);
+}
+
+TEST(IR, AccessSets) {
+  auto sdfg = make_scale_sdfg();
+  auto sets = sdfg->state(0).access_sets();
+  EXPECT_TRUE(sets.reads.count("a"));
+  EXPECT_TRUE(sets.writes.count("out"));
+  EXPECT_FALSE(sets.writes.count("a"));
+}
+
+TEST(IR, RenameArray) {
+  auto sdfg = make_scale_sdfg();
+  sdfg->rename_array("a", "input");
+  EXPECT_TRUE(sdfg->has_array("input"));
+  EXPECT_FALSE(sdfg->has_array("a"));
+  EXPECT_NO_THROW(sdfg->validate());
+  EXPECT_EQ(sdfg->arg_names()[0], "input");
+}
+
+TEST(IR, DumpAndDotAreStable) {
+  auto sdfg = make_scale_sdfg();
+  std::string d1 = sdfg->dump();
+  std::string d2 = sdfg->clone()->dump();
+  EXPECT_EQ(d1, d2);
+  EXPECT_NE(d1.find("map_entry"), std::string::npos);
+  std::string dot = sdfg->to_dot();
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(IR, UniqueNames) {
+  SDFG sdfg("names");
+  auto& d1 = sdfg.add_temp("tmp", DType::f64, {Expr(4)});
+  auto& d2 = sdfg.add_temp("tmp", DType::f64, {Expr(4)});
+  EXPECT_NE(d1.name, d2.name);
+}
+
+TEST(IR, PersistentLifetimeAndStorageInDump) {
+  SDFG sdfg("attrs");
+  auto& d = sdfg.add_array("buf", DType::f32, {S("N")}, true);
+  d.lifetime = Lifetime::Persistent;
+  d.storage = Storage::GPUGlobal;
+  sdfg.add_state("s", true);
+  std::string dump = sdfg.dump();
+  EXPECT_NE(dump.find("persistent"), std::string::npos);
+  EXPECT_NE(dump.find("GPU_Global"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace dace::ir

@@ -1,0 +1,105 @@
+#include "symbolic/subset.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dace::sym {
+namespace {
+
+TEST(Range, SizeAndIndex) {
+  Expr N = S("N");
+  Range r(Expr(1), N - Expr(1));
+  EXPECT_TRUE(r.size().equals(N - Expr(2)));
+  Range idx = Range::index(Expr(5));
+  EXPECT_TRUE(idx.is_index());
+  EXPECT_TRUE(idx.size().is_one());
+  Range stepped(Expr(0), Expr(10), Expr(3));
+  EXPECT_EQ(stepped.size().constant(), 4);
+}
+
+TEST(Subset, FullAndElement) {
+  Expr N = S("N");
+  Subset full = Subset::full({N, Expr(4)});
+  EXPECT_EQ(full.dims(), 2u);
+  EXPECT_TRUE(full.num_elements().equals(N * Expr(4)));
+  Subset el = Subset::element({Expr(2), S("i")});
+  EXPECT_TRUE(el.is_element());
+  EXPECT_TRUE(el.num_elements().is_one());
+}
+
+TEST(Subset, DisjointProvable) {
+  Expr N = S("N");
+  // [0, N) vs [N, 2N) -- provably disjoint.
+  Subset a({Range(Expr(0), N)});
+  Subset b({Range(N, N * Expr(2))});
+  auto d = Subset::disjoint(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(*d);
+}
+
+TEST(Subset, OverlapProvable) {
+  Expr N = S("N");
+  Subset a({Range(Expr(0), N)});
+  Subset b({Range(Expr(0), N)});
+  auto d = Subset::disjoint(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(*d);
+}
+
+TEST(Subset, UnknownDisjointness) {
+  // [i, i+1) vs [j, j+1): cannot be decided without knowing i, j.
+  Subset a({Range::index(S("i"))});
+  Subset b({Range::index(S("j"))});
+  EXPECT_FALSE(Subset::disjoint(a, b).has_value());
+}
+
+TEST(Subset, DisjointInOneDimensionSuffices) {
+  Expr N = S("N");
+  Subset a({Range(Expr(0), N), Range(Expr(0), Expr(1))});
+  Subset b({Range(Expr(0), N), Range(Expr(1), Expr(2))});
+  auto d = Subset::disjoint(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(*d);
+}
+
+TEST(Subset, Covers) {
+  Expr N = S("N");
+  Subset whole({Range(Expr(0), N)});
+  Subset interior({Range(Expr(1), N - Expr(1))});
+  EXPECT_TRUE(whole.covers(interior));
+  EXPECT_FALSE(interior.covers(whole));
+  EXPECT_TRUE(whole.covers(whole));
+}
+
+TEST(Subset, CoversElement) {
+  Expr N = S("N");
+  Subset whole({Range(Expr(0), N), Range(Expr(0), N)});
+  Subset el = Subset::element({S("i"), S("j")});
+  // i, j >= 1 by assumption but also < N is not provable; element coverage
+  // needs i <= N-1 which is unknown -> conservative false.
+  EXPECT_FALSE(whole.covers(el));
+  Subset el2 = Subset::element({Expr(0), Expr(0)});
+  EXPECT_TRUE(whole.covers(el2));
+}
+
+TEST(Subset, OffsetBy) {
+  Expr N = S("N");
+  Subset a({Range(Expr(1), N)});
+  Subset b = a.offset_by({Expr(-1)});
+  EXPECT_TRUE(b.range(0).begin.is_zero());
+  EXPECT_TRUE(b.range(0).end.equals(N - Expr(1)));
+}
+
+TEST(Subset, Substitution) {
+  Subset a({Range(S("i"), S("i") + Expr(1))});
+  Subset b = a.subs({{"i", Expr(3)}});
+  EXPECT_EQ(b.range(0).begin.constant(), 3);
+  EXPECT_TRUE(b.is_element());
+}
+
+TEST(Subset, ToString) {
+  Subset s({Range(Expr(0), S("N")), Range::index(S("i"))});
+  EXPECT_EQ(s.to_string(), "[0:N, i]");
+}
+
+}  // namespace
+}  // namespace dace::sym

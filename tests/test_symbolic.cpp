@@ -1,0 +1,158 @@
+#include "symbolic/symbolic.hpp"
+
+#include <gtest/gtest.h>
+
+namespace dace::sym {
+namespace {
+
+TEST(Symbolic, ConstantsFold) {
+  Expr e = Expr(2) + Expr(3) * Expr(4);
+  EXPECT_TRUE(e.is_constant());
+  EXPECT_EQ(e.constant(), 14);
+}
+
+TEST(Symbolic, PolynomialCanonicalization) {
+  Expr N = S("N");
+  Expr M = S("M");
+  // (N + M)^2-style expansion through multiplication.
+  Expr a = (N + M) * (N + M);
+  Expr b = N * N + Expr(2) * N * M + M * M;
+  EXPECT_TRUE(a.equals(b));
+}
+
+TEST(Symbolic, AdditionCommutes) {
+  Expr N = S("N");
+  Expr M = S("M");
+  EXPECT_TRUE((N + M).equals(M + N));
+  EXPECT_TRUE((N * M).equals(M * N));
+}
+
+TEST(Symbolic, SubtractionCancels) {
+  Expr N = S("N");
+  EXPECT_TRUE((N - N).is_zero());
+  EXPECT_TRUE((N + Expr(1) - Expr(1)).equals(N));
+}
+
+TEST(Symbolic, Evaluation) {
+  Expr N = S("N");
+  Expr e = N * Expr(2) + Expr(5);
+  EXPECT_EQ(e.eval({{"N", 10}}), 25);
+  EXPECT_FALSE(e.try_eval({}).has_value());
+  EXPECT_THROW(e.eval({}), Error);
+}
+
+TEST(Symbolic, FloorDivMod) {
+  Expr N = S("N");
+  Expr d = floordiv(N, Expr(4));
+  EXPECT_EQ(d.eval({{"N", 10}}), 2);
+  EXPECT_EQ(d.eval({{"N", -1}}), -1);  // Python-style floor division
+  Expr m = mod(N, Expr(4));
+  EXPECT_EQ(m.eval({{"N", 10}}), 2);
+  EXPECT_EQ(m.eval({{"N", -1}}), 3);  // Python-style modulo
+}
+
+TEST(Symbolic, FloorDivModIdentities) {
+  Expr N = S("N");
+  EXPECT_TRUE(floordiv(N, Expr(1)).equals(N));
+  EXPECT_TRUE(mod(N, Expr(1)).is_zero());
+  EXPECT_EQ(floordiv(Expr(7), Expr(2)).constant(), 3);
+  EXPECT_EQ(mod(Expr(7), Expr(2)).constant(), 1);
+}
+
+TEST(Symbolic, MinMax) {
+  Expr N = S("N");
+  EXPECT_TRUE(min(N, N).equals(N));
+  EXPECT_EQ(min(Expr(3), Expr(5)).constant(), 3);
+  EXPECT_EQ(max(Expr(3), Expr(5)).constant(), 5);
+  Expr m = min(N, Expr(5));
+  EXPECT_EQ(m.eval({{"N", 3}}), 3);
+  EXPECT_EQ(m.eval({{"N", 9}}), 5);
+}
+
+TEST(Symbolic, Substitution) {
+  Expr N = S("N");
+  Expr M = S("M");
+  Expr e = N * M + Expr(1);
+  Expr sub = e.subs({{"N", M + Expr(2)}});
+  EXPECT_TRUE(sub.equals(M * M + Expr(2) * M + Expr(1)));
+  // Simultaneous substitution does not chain.
+  Expr swap = (N + M).subs({{"N", M}, {"M", N}});
+  EXPECT_TRUE(swap.equals(N + M));
+}
+
+TEST(Symbolic, FreeSymbols) {
+  Expr e = S("N") * S("M") + floordiv(S("K"), Expr(2));
+  auto fs = e.free_symbols();
+  EXPECT_EQ(fs.size(), 3u);
+  EXPECT_TRUE(fs.count("N"));
+  EXPECT_TRUE(fs.count("M"));
+  EXPECT_TRUE(fs.count("K"));
+}
+
+TEST(Symbolic, SignQueriesUnderPositivityAssumption) {
+  Expr N = S("N");
+  // Symbols are assumed >= 1.
+  EXPECT_TRUE(N.provably_positive());
+  EXPECT_TRUE((N - Expr(1)).provably_nonnegative());
+  EXPECT_FALSE((N - Expr(2)).provably_nonnegative());  // unknown
+  EXPECT_TRUE((Expr(0) - N).provably_nonpositive());
+  EXPECT_TRUE((N * S("M")).provably_positive());
+  EXPECT_FALSE((N - S("M")).provably_nonnegative());
+  // mod is bounded by a constant divisor.
+  EXPECT_TRUE((Expr(3) - mod(N, Expr(4))).provably_nonnegative());
+  EXPECT_TRUE(mod(N, Expr(4)).provably_nonnegative());
+}
+
+TEST(Symbolic, CeilDiv) {
+  Expr N = S("N");
+  Expr c = ceildiv(N, Expr(4));
+  EXPECT_EQ(c.eval({{"N", 8}}), 2);
+  EXPECT_EQ(c.eval({{"N", 9}}), 3);
+  EXPECT_EQ(c.eval({{"N", 1}}), 1);
+}
+
+TEST(Symbolic, ToString) {
+  Expr N = S("N");
+  EXPECT_EQ((N - Expr(1)).to_string(), "N - 1");
+  EXPECT_EQ((N * Expr(2)).to_string(), "2*N");
+  EXPECT_EQ(Expr(0).to_string(), "0");
+}
+
+TEST(Symbolic, OperandsExposeCanonicalChildren) {
+  Expr e = S("N") + Expr(2) * S("M");
+  ASSERT_EQ(e.kind(), ExprKind::Add);
+  auto ops = e.operands();
+  EXPECT_EQ(ops.size(), 2u);
+}
+
+// Property-style sweep: canonicalization must preserve evaluation.
+class SymbolicEvalProperty : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(SymbolicEvalProperty, CanonFormPreservesValue) {
+  int64_t n = GetParam();
+  Expr N = S("N");
+  SymbolMap env{{"N", n}, {"M", 7}};
+  Expr exprs[] = {
+      (N + Expr(3)) * (N - Expr(3)),
+      floordiv(N * N + Expr(5), N),
+      mod(N * Expr(3) + Expr(1), Expr(7)),
+      min(N, S("M")) + max(N, S("M")),
+      ceildiv(N + S("M"), Expr(3)),
+  };
+  int64_t expected[] = {
+      n * n - 9,
+      (n * n + 5) / n,
+      ((n * 3 + 1) % 7 + 7) % 7,
+      std::min(n, int64_t{7}) + std::max(n, int64_t{7}),
+      (n + 7 + 2) / 3,
+  };
+  for (size_t i = 0; i < std::size(exprs); ++i) {
+    EXPECT_EQ(exprs[i].eval(env), expected[i]) << exprs[i].to_string();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, SymbolicEvalProperty,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 100));
+
+}  // namespace
+}  // namespace dace::sym

@@ -1,0 +1,197 @@
+#include "runtime/tensor.hpp"
+
+#include <gtest/gtest.h>
+
+#include "runtime/tensor_ops.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace dace::rt {
+namespace {
+
+TEST(Tensor, AllocateZeroInitialized) {
+  Tensor t(DType::f64, {3, 4});
+  EXPECT_EQ(t.size(), 12);
+  EXPECT_TRUE(t.contiguous());
+  for (int64_t i = 0; i < t.size(); ++i) EXPECT_EQ(t.get_flat(i), 0.0);
+}
+
+TEST(Tensor, ElementAccess) {
+  Tensor t(DType::f64, {2, 3});
+  t.at({1, 2}) = 5.0;
+  EXPECT_EQ(t.at({1, 2}), 5.0);
+  EXPECT_EQ(t.get_flat(5), 5.0);
+  EXPECT_THROW(t.at({2, 0}), Error);
+}
+
+TEST(Tensor, DTypeCastOnStore) {
+  Tensor t(DType::f32, {1});
+  t.set_flat(0, 0.1);
+  EXPECT_EQ(t.get_flat(0), (double)(float)0.1);
+  Tensor i(DType::i32, {1});
+  i.set_flat(0, 3.7);
+  EXPECT_EQ(i.get_flat(0), 3.0);
+}
+
+TEST(Tensor, SliceSharesBuffer) {
+  Tensor t(DType::f64, {4, 4});
+  for (int64_t i = 0; i < 16; ++i) t.set_flat(i, (double)i);
+  Tensor s = t.slice({1, 1}, {3, 3}, {1, 1});
+  EXPECT_EQ(s.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(s.at({0, 0}), 5.0);
+  s.at({0, 0}) = 99.0;
+  EXPECT_EQ(t.at({1, 1}), 99.0);  // view aliases
+}
+
+TEST(Tensor, SliceWithStepAndDrop) {
+  Tensor t(DType::f64, {6});
+  for (int64_t i = 0; i < 6; ++i) t.set_flat(i, (double)i);
+  Tensor s = t.slice({0}, {6}, {2});
+  EXPECT_EQ(s.shape(), (std::vector<int64_t>{3}));
+  EXPECT_EQ(s.get_flat(2), 4.0);
+  Tensor row = Tensor(DType::f64, {3, 4}).slice({1, 0}, {2, 4}, {1, 1},
+                                                {true, false});
+  EXPECT_EQ(row.shape(), (std::vector<int64_t>{4}));
+}
+
+TEST(Tensor, TransposeView) {
+  Tensor t(DType::f64, {2, 3});
+  t.at({0, 2}) = 7.0;
+  Tensor tt = t.transpose();
+  EXPECT_EQ(tt.shape(), (std::vector<int64_t>{3, 2}));
+  EXPECT_EQ(tt.at({2, 0}), 7.0);
+  EXPECT_FALSE(tt.contiguous());
+}
+
+TEST(Tensor, CopyIsDeep) {
+  Tensor t(DType::f64, {4});
+  t.fill(3.0);
+  Tensor c = t.copy();
+  c.fill(1.0);
+  EXPECT_EQ(t.get_flat(0), 3.0);
+}
+
+TEST(Tensor, AssignFromOverlappingViews) {
+  // b[0:4] = b[1:5] with shared buffer must not corrupt (jacobi shift).
+  Tensor t(DType::f64, {5});
+  for (int64_t i = 0; i < 5; ++i) t.set_flat(i, (double)i);
+  Tensor dst = t.slice({0}, {4}, {1});
+  Tensor src = t.slice({1}, {5}, {1});
+  dst.assign_from(src);
+  EXPECT_EQ(t.get_flat(0), 1.0);
+  EXPECT_EQ(t.get_flat(3), 4.0);
+}
+
+TEST(TensorOps, BroadcastAdd) {
+  Tensor a = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_values({3}, {10, 20, 30});
+  Tensor c = ops::add(a, b);
+  EXPECT_EQ(c.at({0, 0}), 11.0);
+  EXPECT_EQ(c.at({1, 2}), 36.0);
+}
+
+TEST(TensorOps, ScalarBroadcast) {
+  Tensor a = Tensor::from_values({3}, {1, 2, 3});
+  Tensor s = Tensor::scalar(2.0);
+  Tensor c = ops::mul(a, s);
+  EXPECT_EQ(c.get_flat(2), 6.0);
+}
+
+TEST(TensorOps, BroadcastRejectsIncompatible) {
+  Tensor a(DType::f64, {2, 3});
+  Tensor b(DType::f64, {4});
+  EXPECT_THROW(ops::add(a, b), Error);
+}
+
+TEST(TensorOps, MatMul2D) {
+  Tensor a = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor b = Tensor::from_values({3, 2}, {7, 8, 9, 10, 11, 12});
+  Tensor c = ops::matmul(a, b);
+  EXPECT_EQ(c.shape(), (std::vector<int64_t>{2, 2}));
+  EXPECT_EQ(c.at({0, 0}), 58.0);
+  EXPECT_EQ(c.at({1, 1}), 154.0);
+}
+
+TEST(TensorOps, MatVecAndVecMat) {
+  Tensor a = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  Tensor x = Tensor::from_values({3}, {1, 1, 1});
+  Tensor y = ops::matmul(a, x);
+  EXPECT_EQ(y.shape(), (std::vector<int64_t>{2}));
+  EXPECT_EQ(y.get_flat(0), 6.0);
+  Tensor v = Tensor::from_values({2}, {1, 1});
+  Tensor z = ops::matmul(v, a);
+  EXPECT_EQ(z.shape(), (std::vector<int64_t>{3}));
+  EXPECT_EQ(z.get_flat(2), 9.0);
+}
+
+TEST(TensorOps, MatMulMatchesNaive) {
+  const int64_t m = 17, k = 23, n = 13;
+  Tensor a(DType::f64, {m, k});
+  Tensor b(DType::f64, {k, n});
+  for (int64_t i = 0; i < a.size(); ++i) a.set_flat(i, std::sin((double)i));
+  for (int64_t i = 0; i < b.size(); ++i) b.set_flat(i, std::cos((double)i));
+  Tensor c = ops::matmul(a, b);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      double acc = 0;
+      for (int64_t l = 0; l < k; ++l) acc += a.at({i, l}) * b.at({l, j});
+      EXPECT_NEAR(c.at({i, j}), acc, 1e-9);
+    }
+  }
+}
+
+TEST(TensorOps, OuterAndDot) {
+  Tensor u = Tensor::from_values({2}, {1, 2});
+  Tensor v = Tensor::from_values({3}, {3, 4, 5});
+  Tensor o = ops::outer(u, v);
+  EXPECT_EQ(o.at({1, 2}), 10.0);
+  EXPECT_EQ(ops::dot(u, u), 5.0);
+}
+
+TEST(TensorOps, Reductions) {
+  Tensor a = Tensor::from_values({2, 3}, {1, 2, 3, 4, 5, 6});
+  EXPECT_EQ(ops::sum_all(a), 21.0);
+  EXPECT_EQ(ops::max_all(a), 6.0);
+  EXPECT_EQ(ops::min_all(a), 1.0);
+  Tensor s0 = ops::sum_axis(a, 0);
+  EXPECT_EQ(s0.shape(), (std::vector<int64_t>{3}));
+  EXPECT_EQ(s0.get_flat(0), 5.0);
+  Tensor s1 = ops::sum_axis(a, 1);
+  EXPECT_EQ(s1.get_flat(1), 15.0);
+}
+
+TEST(TensorOps, PromotionRules) {
+  EXPECT_EQ(ops::promote(DType::f32, DType::f64), DType::f64);
+  EXPECT_EQ(ops::promote(DType::i64, DType::f32), DType::f32);
+  EXPECT_EQ(ops::promote(DType::i32, DType::i64), DType::i64);
+}
+
+TEST(ThreadPool, ParallelForCoversDomain) {
+  ThreadPool pool(4);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(100, [&](int64_t lo, int64_t hi) {
+    for (int64_t i = lo; i < hi; ++i) hits[(size_t)i]++;
+  });
+  for (auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, NestedCallsRunInline) {
+  ThreadPool pool(2);
+  std::atomic<int> total{0};
+  pool.parallel_for(8, [&](int64_t lo, int64_t hi) {
+    pool.parallel_for(hi - lo, [&](int64_t l2, int64_t h2) {
+      total += (int)(h2 - l2);
+    });
+  });
+  EXPECT_EQ(total.load(), 8);
+}
+
+TEST(Allclose, DetectsDifferences) {
+  Tensor a = Tensor::from_values({2}, {1.0, 2.0});
+  Tensor b = Tensor::from_values({2}, {1.0, 2.0 + 1e-12});
+  EXPECT_TRUE(allclose(a, b));
+  b.set_flat(1, 3.0);
+  EXPECT_FALSE(allclose(a, b));
+}
+
+}  // namespace
+}  // namespace dace::rt
