@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_localview.dir/bench_ablation_localview.cpp.o"
+  "CMakeFiles/bench_ablation_localview.dir/bench_ablation_localview.cpp.o.d"
+  "bench_ablation_localview"
+  "bench_ablation_localview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_localview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_compile.dir/bench_fig6_compile.cpp.o"
+  "CMakeFiles/bench_fig6_compile.dir/bench_fig6_compile.cpp.o.d"
+  "bench_fig6_compile"
+  "bench_fig6_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

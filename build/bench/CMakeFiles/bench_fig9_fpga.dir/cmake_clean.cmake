@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_fpga.dir/bench_fig9_fpga.cpp.o"
+  "CMakeFiles/bench_fig9_fpga.dir/bench_fig9_fpga.cpp.o.d"
+  "bench_fig9_fpga"
+  "bench_fig9_fpga.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_fpga.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

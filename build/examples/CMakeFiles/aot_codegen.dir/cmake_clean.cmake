@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aot_codegen.dir/aot_codegen.cpp.o"
+  "CMakeFiles/aot_codegen.dir/aot_codegen.cpp.o.d"
+  "aot_codegen"
+  "aot_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aot_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

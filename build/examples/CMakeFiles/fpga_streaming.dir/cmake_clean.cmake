@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fpga_streaming.dir/fpga_streaming.cpp.o"
+  "CMakeFiles/fpga_streaming.dir/fpga_streaming.cpp.o.d"
+  "fpga_streaming"
+  "fpga_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fpga_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jacobi2d_distributed.dir/jacobi2d_distributed.cpp.o"
+  "CMakeFiles/jacobi2d_distributed.dir/jacobi2d_distributed.cpp.o.d"
+  "jacobi2d_distributed"
+  "jacobi2d_distributed.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jacobi2d_distributed.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for jacobi2d_distributed.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,61 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/cpp_codegen.cpp" "src/CMakeFiles/dacepp.dir/codegen/cpp_codegen.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/codegen/cpp_codegen.cpp.o.d"
+  "/root/repo/src/codegen/jit.cpp" "src/CMakeFiles/dacepp.dir/codegen/jit.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/codegen/jit.cpp.o.d"
+  "/root/repo/src/distributed/comm_ops.cpp" "src/CMakeFiles/dacepp.dir/distributed/comm_ops.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/comm_ops.cpp.o.d"
+  "/root/repo/src/distributed/dasklike.cpp" "src/CMakeFiles/dacepp.dir/distributed/dasklike.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/dasklike.cpp.o.d"
+  "/root/repo/src/distributed/dist_executor.cpp" "src/CMakeFiles/dacepp.dir/distributed/dist_executor.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/dist_executor.cpp.o.d"
+  "/root/repo/src/distributed/dist_kernels.cpp" "src/CMakeFiles/dacepp.dir/distributed/dist_kernels.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/dist_kernels.cpp.o.d"
+  "/root/repo/src/distributed/dist_transforms.cpp" "src/CMakeFiles/dacepp.dir/distributed/dist_transforms.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/dist_transforms.cpp.o.d"
+  "/root/repo/src/distributed/pblas.cpp" "src/CMakeFiles/dacepp.dir/distributed/pblas.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/pblas.cpp.o.d"
+  "/root/repo/src/distributed/process_grid.cpp" "src/CMakeFiles/dacepp.dir/distributed/process_grid.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/process_grid.cpp.o.d"
+  "/root/repo/src/distributed/simmpi.cpp" "src/CMakeFiles/dacepp.dir/distributed/simmpi.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/distributed/simmpi.cpp.o.d"
+  "/root/repo/src/fpga/fpga_executor.cpp" "src/CMakeFiles/dacepp.dir/fpga/fpga_executor.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/fpga/fpga_executor.cpp.o.d"
+  "/root/repo/src/frontend/ast.cpp" "src/CMakeFiles/dacepp.dir/frontend/ast.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/frontend/ast.cpp.o.d"
+  "/root/repo/src/frontend/lexer.cpp" "src/CMakeFiles/dacepp.dir/frontend/lexer.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/frontend/lexer.cpp.o.d"
+  "/root/repo/src/frontend/lowering.cpp" "src/CMakeFiles/dacepp.dir/frontend/lowering.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/frontend/lowering.cpp.o.d"
+  "/root/repo/src/frontend/parser.cpp" "src/CMakeFiles/dacepp.dir/frontend/parser.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/frontend/parser.cpp.o.d"
+  "/root/repo/src/gpu/cupy_like.cpp" "src/CMakeFiles/dacepp.dir/gpu/cupy_like.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/gpu/cupy_like.cpp.o.d"
+  "/root/repo/src/gpu/gpu_executor.cpp" "src/CMakeFiles/dacepp.dir/gpu/gpu_executor.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/gpu/gpu_executor.cpp.o.d"
+  "/root/repo/src/ir/code_expr.cpp" "src/CMakeFiles/dacepp.dir/ir/code_expr.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/ir/code_expr.cpp.o.d"
+  "/root/repo/src/ir/sdfg.cpp" "src/CMakeFiles/dacepp.dir/ir/sdfg.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/ir/sdfg.cpp.o.d"
+  "/root/repo/src/ir/serialize.cpp" "src/CMakeFiles/dacepp.dir/ir/serialize.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/ir/serialize.cpp.o.d"
+  "/root/repo/src/ir/state.cpp" "src/CMakeFiles/dacepp.dir/ir/state.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/ir/state.cpp.o.d"
+  "/root/repo/src/ir/validate.cpp" "src/CMakeFiles/dacepp.dir/ir/validate.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/ir/validate.cpp.o.d"
+  "/root/repo/src/kernels/reference.cpp" "src/CMakeFiles/dacepp.dir/kernels/reference.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/kernels/reference.cpp.o.d"
+  "/root/repo/src/kernels/suite.cpp" "src/CMakeFiles/dacepp.dir/kernels/suite.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/kernels/suite.cpp.o.d"
+  "/root/repo/src/runtime/bytecode.cpp" "src/CMakeFiles/dacepp.dir/runtime/bytecode.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/bytecode.cpp.o.d"
+  "/root/repo/src/runtime/eager_interpreter.cpp" "src/CMakeFiles/dacepp.dir/runtime/eager_interpreter.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/eager_interpreter.cpp.o.d"
+  "/root/repo/src/runtime/executor.cpp" "src/CMakeFiles/dacepp.dir/runtime/executor.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/executor.cpp.o.d"
+  "/root/repo/src/runtime/library_kernels.cpp" "src/CMakeFiles/dacepp.dir/runtime/library_kernels.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/library_kernels.cpp.o.d"
+  "/root/repo/src/runtime/map_compiler.cpp" "src/CMakeFiles/dacepp.dir/runtime/map_compiler.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/map_compiler.cpp.o.d"
+  "/root/repo/src/runtime/tensor.cpp" "src/CMakeFiles/dacepp.dir/runtime/tensor.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/tensor.cpp.o.d"
+  "/root/repo/src/runtime/tensor_ops.cpp" "src/CMakeFiles/dacepp.dir/runtime/tensor_ops.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/tensor_ops.cpp.o.d"
+  "/root/repo/src/runtime/thread_pool.cpp" "src/CMakeFiles/dacepp.dir/runtime/thread_pool.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/runtime/thread_pool.cpp.o.d"
+  "/root/repo/src/symbolic/subset.cpp" "src/CMakeFiles/dacepp.dir/symbolic/subset.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/symbolic/subset.cpp.o.d"
+  "/root/repo/src/symbolic/symbolic.cpp" "src/CMakeFiles/dacepp.dir/symbolic/symbolic.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/symbolic/symbolic.cpp.o.d"
+  "/root/repo/src/transforms/auto_optimize.cpp" "src/CMakeFiles/dacepp.dir/transforms/auto_optimize.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/auto_optimize.cpp.o.d"
+  "/root/repo/src/transforms/fpga_transform.cpp" "src/CMakeFiles/dacepp.dir/transforms/fpga_transform.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/fpga_transform.cpp.o.d"
+  "/root/repo/src/transforms/gpu_transform.cpp" "src/CMakeFiles/dacepp.dir/transforms/gpu_transform.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/gpu_transform.cpp.o.d"
+  "/root/repo/src/transforms/loop_to_map.cpp" "src/CMakeFiles/dacepp.dir/transforms/loop_to_map.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/loop_to_map.cpp.o.d"
+  "/root/repo/src/transforms/map_fusion.cpp" "src/CMakeFiles/dacepp.dir/transforms/map_fusion.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/map_fusion.cpp.o.d"
+  "/root/repo/src/transforms/map_transforms.cpp" "src/CMakeFiles/dacepp.dir/transforms/map_transforms.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/map_transforms.cpp.o.d"
+  "/root/repo/src/transforms/memory.cpp" "src/CMakeFiles/dacepp.dir/transforms/memory.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/memory.cpp.o.d"
+  "/root/repo/src/transforms/pass.cpp" "src/CMakeFiles/dacepp.dir/transforms/pass.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/pass.cpp.o.d"
+  "/root/repo/src/transforms/simplify.cpp" "src/CMakeFiles/dacepp.dir/transforms/simplify.cpp.o" "gcc" "src/CMakeFiles/dacepp.dir/transforms/simplify.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_codegen.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_codegen.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_codegen.cpp.o.d"
+  "/root/repo/tests/test_devices.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_devices.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_devices.cpp.o.d"
+  "/root/repo/tests/test_distributed.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_distributed.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_distributed.cpp.o.d"
+  "/root/repo/tests/test_executor.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_executor.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_executor.cpp.o.d"
+  "/root/repo/tests/test_frontend.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_frontend.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_frontend.cpp.o.d"
+  "/root/repo/tests/test_ir.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_ir.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_ir.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_stream.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_stream.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_stream.cpp.o.d"
+  "/root/repo/tests/test_subset.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_subset.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_subset.cpp.o.d"
+  "/root/repo/tests/test_symbolic.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_symbolic.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_symbolic.cpp.o.d"
+  "/root/repo/tests/test_tensor.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_tensor.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_tensor.cpp.o.d"
+  "/root/repo/tests/test_transforms.cpp" "tests/CMakeFiles/dacepp_tests.dir/test_transforms.cpp.o" "gcc" "tests/CMakeFiles/dacepp_tests.dir/test_transforms.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/dacepp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

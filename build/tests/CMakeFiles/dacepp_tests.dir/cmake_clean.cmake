@@ -1,0 +1,34 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dacepp_tests.dir/test_codegen.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_codegen.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_devices.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_devices.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_distributed.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_distributed.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_executor.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_executor.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_frontend.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_frontend.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_ir.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_ir.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_kernels.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_kernels.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_stream.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_stream.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_subset.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_subset.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_symbolic.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_symbolic.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_tensor.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_tensor.cpp.o.d"
+  "CMakeFiles/dacepp_tests.dir/test_transforms.cpp.o"
+  "CMakeFiles/dacepp_tests.dir/test_transforms.cpp.o.d"
+  "dacepp_tests"
+  "dacepp_tests.pdb"
+  "dacepp_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dacepp_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
