@@ -1,0 +1,138 @@
+// Memlet bounds checker.
+//
+// Every memlet subset must satisfy 0 <= begin and last-accessed index
+// < shape[d] in every dimension.  Inside map scopes the subset is a
+// function of the map parameters, whose global ">= 1" symbol assumption
+// does not hold (parameters start at 0), so the checker substitutes the
+// parameters by the *corners* of their iteration ranges -- for the
+// multilinear index expressions the frontend and transformations
+// produce, extremes are attained at corners, and every corner is a real
+// iteration point.  A provable violation at any corner is an error; a
+// bound that cannot be proven at some corner is a warning.
+#include <sstream>
+
+#include "analysis/analysis.hpp"
+
+namespace dace::analysis {
+
+namespace {
+
+using sym::Expr;
+
+// Cap on enumerated corners (2^params); deeper nests are skipped rather
+// than checked imprecisely.
+constexpr size_t kMaxCornerParams = 10;
+
+/// Innermost map entry whose scope contains the edge, or -1.
+int edge_scope(const ir::State& st, const ir::Edge& e) {
+  if (st.node_as<ir::MapEntry>(e.src)) return e.src;
+  return st.scope_of(e.src);
+}
+
+/// Map entries enclosing `scope` (inclusive), outermost first.
+std::vector<const ir::MapEntry*> scope_chain(const ir::State& st, int scope) {
+  std::vector<const ir::MapEntry*> chain;
+  while (scope >= 0) {
+    chain.push_back(st.node_as<const ir::MapEntry>(scope));
+    scope = st.scope_of(scope);
+  }
+  return {chain.rbegin(), chain.rend()};
+}
+
+/// Last index a range touches: begin + (size-1)*step.
+Expr last_index(const sym::Range& r) {
+  if (r.step.is_one()) return r.end - Expr(1);
+  return r.begin + (r.size() - Expr(1)) * r.step;
+}
+
+enum class DimCheck { Ok, Violation, Unknown };
+
+DimCheck check_dim(const Expr& begin, const Expr& last, const Expr& shape) {
+  // Provable violation first: begin <= -1 or last >= shape.
+  if ((-begin).provably_positive()) return DimCheck::Violation;
+  if ((last - shape).provably_nonnegative()) return DimCheck::Violation;
+  if (begin.provably_nonnegative() &&
+      (shape - Expr(1) - last).provably_nonnegative()) {
+    return DimCheck::Ok;
+  }
+  return DimCheck::Unknown;
+}
+
+void check_edge(const ir::SDFG& sdfg, const ir::State& st, int sid,
+                const ir::Edge& e, AnalysisReport& report) {
+  const ir::Memlet& m = e.memlet;
+  if (m.empty() || m.dynamic) return;
+  const ir::DataDesc& desc = sdfg.array(m.data);
+  if (desc.is_stream || desc.rank() == 0) return;
+  if (m.subset.dims() != desc.rank()) return;  // structural error, not ours
+
+  std::vector<const ir::MapEntry*> chain = scope_chain(st, edge_scope(st, e));
+  std::vector<std::pair<std::string, sym::Range>> params;
+  for (const auto* me : chain) {
+    for (size_t i = 0; i < me->params.size(); ++i)
+      params.emplace_back(me->params[i], me->range.range(i));
+  }
+  if (params.size() > kMaxCornerParams) return;
+
+  // All corner substitutions, built outermost-in so inner ranges that
+  // reference outer parameters get concrete corner values too.
+  std::vector<sym::SubstMap> corners;
+  for (size_t mask = 0; mask < (size_t{1} << params.size()); ++mask) {
+    sym::SubstMap corner;
+    for (size_t k = 0; k < params.size(); ++k) {
+      sym::Range r = params[k].second.subs(corner);
+      corner[params[k].first] = (mask >> k) & 1 ? last_index(r) : r.begin;
+    }
+    corners.push_back(std::move(corner));
+  }
+
+  for (size_t d = 0; d < desc.rank(); ++d) {
+    const sym::Range& r = m.subset.range(d);
+    Expr last = last_index(r);
+    bool violation = false;
+    bool unknown = false;
+    for (const auto& corner : corners) {
+      DimCheck c = check_dim(r.begin.subs(corner), last.subs(corner),
+                             desc.shape[d].subs(corner));
+      violation |= c == DimCheck::Violation;
+      unknown |= c == DimCheck::Unknown;
+    }
+    if (!violation && !unknown) continue;
+
+    Diagnostic diag;
+    diag.severity = violation ? Severity::Error : Severity::Warning;
+    diag.analysis = "bounds";
+    diag.sdfg = sdfg.name();
+    diag.state = sid;
+    diag.node = e.dst;
+    diag.container = m.data;
+    diag.memlet = m.to_string();
+    std::ostringstream msg;
+    if (violation) {
+      msg << "access provably out of bounds in dimension " << d << " (shape "
+          << desc.shape[d].to_string() << ")";
+    } else {
+      msg << "cannot prove access within bounds in dimension " << d
+          << " (shape " << desc.shape[d].to_string() << ")";
+    }
+    diag.message = msg.str();
+    diag.hint = violation
+                    ? "shrink the memlet subset or the map range to fit the "
+                      "container shape"
+                    : "tighten the subset bounds or add the missing symbol "
+                      "relation to make the bound provable";
+    report.add(std::move(diag));
+    break;  // one finding per memlet is enough to locate the problem
+  }
+}
+
+}  // namespace
+
+void check_bounds(const ir::SDFG& sdfg, AnalysisReport& report) {
+  for (int sid : sdfg.state_ids()) {
+    const ir::State& st = sdfg.state(sid);
+    for (const auto& e : st.edges()) check_edge(sdfg, st, sid, e, report);
+  }
+}
+
+}  // namespace dace::analysis

@@ -1,0 +1,215 @@
+// Interstate def-use analysis: reaching definitions per container over
+// the state machine.
+//
+// Two fixpoint passes over the control-flow graph of states:
+//   forward:  which containers MAY / MUST have been written when a state
+//             is entered  -> reads of never-written transients (error),
+//             reads uninitialized on some path (warning);
+//   backward: which containers are live after a state -> writes to
+//             transients that no later state (and no later node in the
+//             same state) reads are dead writes (warning).
+// Persistent-lifetime transients keep their value across invocations and
+// streams have FIFO semantics, so both are exempt.
+#include <algorithm>
+
+#include "analysis/analysis.hpp"
+
+namespace dace::analysis {
+
+namespace {
+
+struct StateFacts {
+  // Containers with an access node that reads (has out-edges) without a
+  // preceding write in the same state ("upward-exposed" reads).
+  std::set<std::string> ue_reads;
+  // Containers read anywhere in the state.
+  std::set<std::string> reads;
+  // Containers written anywhere in the state.
+  std::set<std::string> writes;
+  // Containers whose written subset provably covers the whole shape.
+  std::set<std::string> full_writes;
+  // Access nodes (node id, container) that write but are never read from
+  // within the state: dead-write candidates.
+  std::vector<std::pair<int, std::string>> sink_writes;
+};
+
+/// True if every out-edge of access node `nid` feeds a library node that
+/// also writes the same container: the in-place update idiom (e.g. the
+/// request slots of dace.comm.Isend).  Such "reads" only sequence the
+/// mutation of storage whose prior contents are unspecified (np.empty),
+/// so they are not upward-exposed value reads.
+bool only_inout_reads(const ir::State& st, int nid, const std::string& data) {
+  for (const auto* e : st.out_edges(nid)) {
+    const ir::Node* dst = st.node(e->dst);
+    if (dst->kind != ir::NodeKind::Library) return false;
+    bool writes_back = false;
+    for (const auto* oe : st.out_edges(e->dst)) {
+      if (!oe->memlet.empty() && oe->memlet.data == data) {
+        writes_back = true;
+        break;
+      }
+    }
+    if (!writes_back) return false;
+  }
+  return true;
+}
+
+StateFacts collect_facts(const ir::SDFG& sdfg, const ir::State& st) {
+  StateFacts f;
+  for (int nid : st.node_ids()) {
+    const auto* a = st.node_as<const ir::AccessNode>(nid);
+    if (!a) continue;
+    bool has_in = st.in_degree(nid) > 0;
+    bool has_out = st.out_degree(nid) > 0;
+    if (has_out) {
+      f.reads.insert(a->data);
+      if (!has_in && !only_inout_reads(st, nid, a->data))
+        f.ue_reads.insert(a->data);
+    }
+    if (has_in) {
+      f.writes.insert(a->data);
+      if (!has_out) f.sink_writes.emplace_back(nid, a->data);
+      const ir::DataDesc& d = sdfg.array(a->data);
+      sym::Subset full = sym::Subset::full(d.shape);
+      for (const auto* e : st.in_edges(nid)) {
+        if (!e->memlet.empty() && e->memlet.data == a->data &&
+            e->memlet.subset.covers(full)) {
+          f.full_writes.insert(a->data);
+        }
+      }
+    }
+  }
+  return f;
+}
+
+/// Transients the analysis tracks (persistent and stream containers are
+/// exempt; non-transients are inputs/outputs and defined externally).
+bool tracked(const ir::DataDesc& d) {
+  return d.transient && !d.is_stream && d.lifetime == ir::Lifetime::Scope;
+}
+
+}  // namespace
+
+void analyze_defuse(const ir::SDFG& sdfg, AnalysisReport& report) {
+  std::vector<int> ids = sdfg.state_ids();
+  if (ids.empty()) return;
+  std::map<int, StateFacts> facts;
+  for (int sid : ids) facts[sid] = collect_facts(sdfg, sdfg.state(sid));
+
+  std::map<int, std::vector<int>> preds, succs;
+  for (const auto& e : sdfg.interstate_edges()) {
+    preds[e.dst].push_back(e.src);
+    succs[e.src].push_back(e.dst);
+  }
+
+  std::set<std::string> all;
+  for (const auto& [name, d] : sdfg.arrays()) all.insert(name);
+
+  // Forward: MAY-written (union over predecessors, grows from empty) and
+  // MUST-written (intersection, shrinks from the full set).
+  std::map<int, std::set<std::string>> may_in, may_out, must_in, must_out;
+  for (int sid : ids) {
+    may_out[sid] = facts[sid].writes;
+    must_in[sid] = sid == sdfg.start_state() ? std::set<std::string>{} : all;
+    must_out[sid] = all;
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int sid : ids) {
+      std::set<std::string> min, mustv;
+      bool first = true;
+      for (int p : preds[sid]) {
+        min.insert(may_out[p].begin(), may_out[p].end());
+        if (first) {
+          mustv = must_out[p];
+          first = false;
+        } else {
+          std::set<std::string> inter;
+          std::set_intersection(mustv.begin(), mustv.end(),
+                                must_out[p].begin(), must_out[p].end(),
+                                std::inserter(inter, inter.begin()));
+          mustv = std::move(inter);
+        }
+      }
+      if (sid == sdfg.start_state()) mustv.clear();
+      std::set<std::string> mout = min;
+      mout.insert(facts[sid].writes.begin(), facts[sid].writes.end());
+      std::set<std::string> uout = mustv;
+      uout.insert(facts[sid].writes.begin(), facts[sid].writes.end());
+      if (min != may_in[sid] || mout != may_out[sid] ||
+          mustv != must_in[sid] || uout != must_out[sid]) {
+        changed = true;
+        may_in[sid] = std::move(min);
+        may_out[sid] = std::move(mout);
+        must_in[sid] = std::move(mustv);
+        must_out[sid] = std::move(uout);
+      }
+    }
+  }
+
+  for (int sid : ids) {
+    for (const auto& c : facts[sid].ue_reads) {
+      if (!tracked(sdfg.array(c))) continue;
+      bool maybe = may_in[sid].count(c) > 0;
+      bool must = must_in[sid].count(c) > 0;
+      if (maybe && must) continue;
+      Diagnostic d;
+      d.severity = maybe ? Severity::Warning : Severity::Error;
+      d.analysis = "defuse";
+      d.sdfg = sdfg.name();
+      d.state = sid;
+      d.container = c;
+      d.message = maybe
+                      ? "transient may be read uninitialized (not written on "
+                        "every path to this state)"
+                      : "read of never-written transient";
+      d.hint = "initialize the transient before this state or remove the read";
+      report.add(std::move(d));
+    }
+  }
+
+  // Backward liveness for dead-write detection.
+  std::map<int, std::set<std::string>> live_in, live_out;
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (auto it = ids.rbegin(); it != ids.rend(); ++it) {
+      int sid = *it;
+      std::set<std::string> lout;
+      for (int s : succs[sid])
+        lout.insert(live_in[s].begin(), live_in[s].end());
+      std::set<std::string> lin = facts[sid].reads;
+      for (const auto& c : lout) {
+        if (!facts[sid].full_writes.count(c)) lin.insert(c);
+      }
+      if (lout != live_out[sid] || lin != live_in[sid]) {
+        changed = true;
+        live_out[sid] = std::move(lout);
+        live_in[sid] = std::move(lin);
+      }
+    }
+  }
+
+  for (int sid : ids) {
+    for (const auto& [nid, c] : facts[sid].sink_writes) {
+      if (!tracked(sdfg.array(c))) continue;
+      if (live_out[sid].count(c)) continue;
+      // Another access node of the same container in this state may read
+      // the value through an unordered path; stay silent then.
+      if (facts[sid].reads.count(c)) continue;
+      Diagnostic d;
+      d.severity = Severity::Warning;
+      d.analysis = "defuse";
+      d.sdfg = sdfg.name();
+      d.state = sid;
+      d.node = nid;
+      d.container = c;
+      d.message = "dead write: transient is never read afterwards";
+      d.hint = "remove the producing computation or the transient itself";
+      report.add(std::move(d));
+    }
+  }
+}
+
+}  // namespace dace::analysis

@@ -403,6 +403,8 @@ class SDFG {
   std::string to_dot() const;
   /// Stable textual dump for golden tests.
   std::string dump() const;
+  /// Reloadable serialization (S-expression text; see load_sdfg).
+  std::string save() const;
 
  private:
   std::string name_;
@@ -414,5 +416,11 @@ class SDFG {
   int start_state_ = 0;
   int name_counter_ = 0;
 };
+
+/// Parse the serialization produced by SDFG::save() back into an SDFG
+/// (round-trip: load_sdfg(g.save())->dump() == g.dump()). Used by the
+/// sdfg-lint tool to analyze graphs offline. Throws dace::Error on
+/// malformed input.
+std::unique_ptr<SDFG> load_sdfg(const std::string& text);
 
 }  // namespace dace::ir

@@ -3,6 +3,11 @@
 // Throws dace::Error on malformed graphs. Called by the frontend after
 // lowering, by every transformation test, and by the executor before
 // running, so that graph surgery bugs surface early.
+//
+// Only *structure* is checked here; semantic properties (race freedom of
+// map scopes, memlet bounds, def-use over the state machine) are
+// delegated to the analyses in analysis/analysis.hpp, which return
+// three-valued verdicts instead of throwing.
 #include "ir/sdfg.hpp"
 
 namespace dace::ir {
@@ -26,6 +31,12 @@ void validate_state(const SDFG& sdfg, const State& st) {
         throw ctx("memlet ", e.memlet.to_string(), " has rank ",
                   e.memlet.subset.dims(), " but container has rank ",
                   d.rank());
+      // WCR resolves *write* conflicts; a memlet flowing out of a map
+      // entry is a read and must not carry one.
+      if (e.memlet.wcr != WCR::None &&
+          st.node(e.src)->kind == NodeKind::MapEntry)
+        throw ctx("read memlet ", e.memlet.to_string(),
+                  " out of a map entry carries WCR");
     }
   }
 
@@ -75,6 +86,17 @@ void validate_state(const SDFG& sdfg, const State& st) {
         if (!st.alive(m->entry_node) ||
             st.node(m->entry_node)->kind != NodeKind::MapEntry)
           throw ctx("map exit without paired entry");
+        // Symmetric to the MapEntry check: every IN_x arriving from the
+        // inside must leave through a matching OUT_x.
+        const auto* me = static_cast<const MapEntry*>(st.node(m->entry_node));
+        std::set<std::string> in_conns, out_conns;
+        for (const auto* e : st.in_edges(id)) in_conns.insert(e->dst_conn);
+        for (const auto* e : st.out_edges(id)) out_conns.insert(e->src_conn);
+        for (const auto& ic : in_conns) {
+          if (ic.rfind("IN_", 0) == 0 && !out_conns.count("OUT_" + ic.substr(3)))
+            throw ctx("map '", me->name, "' exit connector ", ic,
+                      " has no matching output");
+        }
         break;
       }
       case NodeKind::Library:

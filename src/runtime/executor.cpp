@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "analysis/analysis.hpp"
 #include "runtime/tensor_ops.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -109,8 +110,14 @@ void Executor::allocate_transients() {
 }
 
 void Executor::run(Bindings& args, const sym::SymbolMap& symbols) {
-  if (opts_.validate && !validated_) {
-    sdfg_.validate();
+  if (!validated_) {
+    if (opts_.validate) sdfg_.validate();
+    if (opts_.analyze || analysis::verify_env()) {
+      analysis::AnalysisReport report = analysis::analyze(sdfg_);
+      if (report.has_errors())
+        throw err("executor: refusing to run '", sdfg_.name(),
+                  "', static analysis found errors:\n", report.to_string());
+    }
     validated_ = true;
   }
   syms_ = symbols;

@@ -43,6 +43,9 @@ class LibraryRegistry {
 struct ExecutorOptions {
   bool parallel = true;    // honor CPU_Multicore schedules
   bool validate = true;    // validate the SDFG before first run
+  bool analyze = false;    // run the static analyzer before first run and
+                           // refuse to execute on error-severity findings
+                           // (also enabled by DACE_VERIFY_PASSES=1)
   bool collect_stats = true;
   /// Called after each top-level map execution ("map"), library call
   /// ("library") or top-level tasklet ("tasklet") with the statistics

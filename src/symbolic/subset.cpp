@@ -56,6 +56,34 @@ Subset Subset::subs(const SubstMap& m) const {
   return Subset(std::move(rs));
 }
 
+namespace {
+
+/// Alignment of two equal-step arithmetic progressions: true = the begin
+/// offset is a multiple of the step (same residue class), false = it
+/// provably is not (the progressions can never meet), nullopt = unknown.
+std::optional<bool> stride_aligned(const Expr& diff, const Expr& step) {
+  if (diff.is_constant() && step.is_constant() && step.constant() > 0) {
+    int64_t s = step.constant();
+    int64_t r = diff.constant() % s;
+    return (r % s + s) % s == 0;
+  }
+  // Best effort on symbolic offsets: mod() canonicalizes e.g. mod(0, s)
+  // and mod(c*s, s) to constants.
+  Expr m = mod(diff, step);
+  if (m.is_constant()) return m.constant() == 0;
+  return std::nullopt;
+}
+
+/// True if `p` provably lies in both covering intervals [begin, end).
+bool provably_inside(const Expr& p, const Range& ra, const Range& rb) {
+  return (p - ra.begin).provably_nonnegative() &&
+         (ra.end - p - Expr(int64_t{1})).provably_nonnegative() &&
+         (p - rb.begin).provably_nonnegative() &&
+         (rb.end - p - Expr(int64_t{1})).provably_nonnegative();
+}
+
+}  // namespace
+
 std::optional<bool> Subset::disjoint(const Subset& a, const Subset& b) {
   if (a.dims() != b.dims()) return std::nullopt;
   // Disjoint if provably disjoint in ANY dimension; intersecting only if
@@ -64,17 +92,41 @@ std::optional<bool> Subset::disjoint(const Subset& a, const Subset& b) {
   for (size_t d = 0; d < a.dims(); ++d) {
     const Range& ra = a.range(d);
     const Range& rb = b.range(d);
+    // Steps that are not provably positive (negative or unknown sign)
+    // invert the [begin, end) covering interval; draw no conclusion.
+    if (!ra.step.provably_positive() || !rb.step.provably_positive()) {
+      all_overlap = false;
+      continue;
+    }
     // Interval reasoning on the covering intervals [begin, end).
     // Disjoint if ra.end <= rb.begin or rb.end <= ra.begin.
     if ((rb.begin - ra.end).provably_nonnegative() ||
         (ra.begin - rb.end).provably_nonnegative()) {
       return true;
     }
-    // Overlap proven if ra.begin < rb.end and rb.begin < ra.end.
-    bool overlap = (rb.end - ra.begin - Expr(int64_t{1})).provably_nonnegative() &&
-                   (ra.end - rb.begin - Expr(int64_t{1})).provably_nonnegative();
-    if (!overlap || !ra.step.is_one() || !rb.step.is_one())
-      all_overlap = false;
+    if (ra.step.is_one() && rb.step.is_one()) {
+      // Overlap proven if ra.begin < rb.end and rb.begin < ra.end.
+      bool overlap =
+          (rb.end - ra.begin - Expr(int64_t{1})).provably_nonnegative() &&
+          (ra.end - rb.begin - Expr(int64_t{1})).provably_nonnegative();
+      if (!overlap) all_overlap = false;
+      continue;
+    }
+    if (ra.step.equals(rb.step)) {
+      // Equal-step lattices: disjoint residue classes never meet, however
+      // the intervals overlap (e.g. 0:2N:2 vs 1:2N:2).
+      std::optional<bool> aligned = stride_aligned(rb.begin - ra.begin,
+                                                   ra.step);
+      if (aligned.has_value() && !*aligned) return true;
+      // Aligned lattices overlap if the later begin (a common lattice
+      // point of both progressions) lies inside both intervals.
+      if (aligned.has_value() && *aligned &&
+          (provably_inside(rb.begin, ra, rb) ||
+           provably_inside(ra.begin, ra, rb))) {
+        continue;  // overlap proven in this dimension
+      }
+    }
+    all_overlap = false;
   }
   if (all_overlap) return false;
   return std::nullopt;
@@ -86,9 +138,20 @@ bool Subset::covers(const Subset& other) const {
     const Range& mine = range(d);
     const Range& theirs = other.range(d);
     if (!mine.step.is_one()) {
-      // Strided coverage only if ranges are identical.
-      if (!mine.equals(theirs)) return false;
-      continue;
+      // Identical strided ranges (symbolic bounds included) trivially
+      // cover each other.
+      if (mine.equals(theirs)) continue;
+      // Same-step progressions: covered if the begin offset is a
+      // nonnegative multiple of the step and the end does not extend
+      // past mine (subset of the same lattice).
+      Expr diff = theirs.begin - mine.begin;
+      std::optional<bool> aligned = stride_aligned(diff, mine.step);
+      if (mine.step.equals(theirs.step) && aligned.has_value() && *aligned &&
+          diff.provably_nonnegative() &&
+          (mine.end - theirs.end).provably_nonnegative()) {
+        continue;
+      }
+      return false;
     }
     // mine.begin <= theirs.begin and theirs.end <= mine.end.
     if (!(theirs.begin - mine.begin).provably_nonnegative()) return false;

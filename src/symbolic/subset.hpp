@@ -74,8 +74,10 @@ class Subset {
   Subset subs(const SubstMap& m) const;
 
   /// Three-valued disjointness: true = provably disjoint, false = provably
-  /// intersecting, nullopt = unknown. Only unit-step dims are reasoned
-  /// about precisely; other steps degrade to their covering interval.
+  /// intersecting, nullopt = unknown. Unit-step dims are reasoned about
+  /// precisely; equal non-unit steps use residue classes (0:2N:2 vs
+  /// 1:2N:2 is disjoint); other positive steps degrade to their covering
+  /// interval, and steps not provably positive yield no conclusion.
   static std::optional<bool> disjoint(const Subset& a, const Subset& b);
 
   /// True if this subset provably covers `other` (other ⊆ this).

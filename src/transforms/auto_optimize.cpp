@@ -4,6 +4,7 @@
 #include "transforms/map_fusion.hpp"
 #include "transforms/map_transforms.hpp"
 #include "transforms/memory.hpp"
+#include "transforms/pass.hpp"
 #include "transforms/simplify.hpp"
 
 namespace dace::xf {
@@ -14,57 +15,83 @@ void fpga_transform_sdfg(ir::SDFG& sdfg);  // fpga_transform.cpp
 
 void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
                    const AutoOptOptions& opts) {
+  Pipeline pipe("auto_optimize");
+  if (opts.verify.has_value()) pipe.set_verify(*opts.verify);
+
   // Dataflow coarsening ("-O1").
-  if (opts.coarsen) simplify(sdfg);
+  if (opts.coarsen) {
+    pipe.add("coarsen", [](ir::SDFG& g) {
+      simplify(g);
+      return true;
+    });
+  }
 
   // (1)+(2) Map-scope cleanup and greedy subgraph fusion. LoopToMap needs
   // fused single-map loop bodies; fusion needs the states LoopToMap and
   // state fusion produce -- iterate the passes jointly to fixpoint.
-  apply_repeated(sdfg, trivial_map_elimination);
-  bool changed = true;
-  while (changed) {
-    changed = false;
-    if (opts.fusion) changed |= apply_repeated(sdfg, map_fusion) > 0;
-    if (opts.coarsen && changed) simplify(sdfg);
-    if (opts.loop_to_map) {
-      bool converted = apply_repeated(sdfg, loop_to_map) > 0;
-      changed |= converted;
-      if (opts.coarsen && converted) simplify(sdfg);
+  pipe.add_fixpoint("trivial-map-elimination", trivial_map_elimination);
+  pipe.add("fusion+loop-to-map", [&opts](ir::SDFG& g) {
+    bool any = false;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      if (opts.fusion) changed |= apply_repeated(g, map_fusion) > 0;
+      if (opts.coarsen && changed) simplify(g);
+      if (opts.loop_to_map) {
+        bool converted = apply_repeated(g, loop_to_map) > 0;
+        changed |= converted;
+        if (opts.coarsen && converted) simplify(g);
+      }
+      any |= changed;
     }
-  }
-  if (opts.collapse) apply_repeated(sdfg, map_collapse);
+    return any;
+  });
+  if (opts.collapse) pipe.add_fixpoint("map-collapse", map_collapse);
 
   // (3) Tile WCR maps to reduce atomic updates.
   if (opts.tile_wcr) {
-    // Schedules must be known before tiling decides atomicity; set the
-    // target schedule first.
-    ir::Schedule sched = ir::Schedule::CPUParallel;
-    if (device == ir::DeviceType::GPU) sched = ir::Schedule::GPUDevice;
-    if (device == ir::DeviceType::FPGA) sched = ir::Schedule::FPGAPipeline;
-    set_toplevel_schedules(sdfg, sched, device == ir::DeviceType::CPU);
-    apply_repeated(sdfg, [&](ir::SDFG& g) {
-      return tile_wcr_map(g, opts.wcr_tile_size);
+    pipe.add("wcr-tiling", [&opts, device](ir::SDFG& g) {
+      // Schedules must be known before tiling decides atomicity; set the
+      // target schedule first.
+      ir::Schedule sched = ir::Schedule::CPUParallel;
+      if (device == ir::DeviceType::GPU) sched = ir::Schedule::GPUDevice;
+      if (device == ir::DeviceType::FPGA) sched = ir::Schedule::FPGAPipeline;
+      set_toplevel_schedules(g, sched, device == ir::DeviceType::CPU);
+      apply_repeated(g, [&](ir::SDFG& gg) {
+        return tile_wcr_map(gg, opts.wcr_tile_size);
+      });
+      return true;
     });
   }
 
   // (4) Transient allocation mitigation.
-  if (opts.transient_mitigation) mitigate_transient_allocation(sdfg);
+  if (opts.transient_mitigation) {
+    pipe.add("transient-mitigation", [](ir::SDFG& g) {
+      mitigate_transient_allocation(g);
+      return true;
+    });
+  }
 
   // Device specialization.
-  switch (device) {
-    case ir::DeviceType::CPU:
-      set_toplevel_schedules(sdfg, ir::Schedule::CPUParallel,
-                             /*omp_collapse=*/true);
-      break;
-    case ir::DeviceType::GPU:
-      set_toplevel_schedules(sdfg, ir::Schedule::GPUDevice, false);
-      gpu_transform_sdfg(sdfg);
-      break;
-    case ir::DeviceType::FPGA:
-      set_toplevel_schedules(sdfg, ir::Schedule::FPGAPipeline, false);
-      fpga_transform_sdfg(sdfg);
-      break;
-  }
+  pipe.add("device-specialize", [device](ir::SDFG& g) {
+    switch (device) {
+      case ir::DeviceType::CPU:
+        set_toplevel_schedules(g, ir::Schedule::CPUParallel,
+                               /*omp_collapse=*/true);
+        break;
+      case ir::DeviceType::GPU:
+        set_toplevel_schedules(g, ir::Schedule::GPUDevice, false);
+        gpu_transform_sdfg(g);
+        break;
+      case ir::DeviceType::FPGA:
+        set_toplevel_schedules(g, ir::Schedule::FPGAPipeline, false);
+        fpga_transform_sdfg(g);
+        break;
+    }
+    return true;
+  });
+
+  pipe.run(sdfg);
   sdfg.validate();
 }
 

@@ -6,6 +6,8 @@
 // device-specific scheduling ({CPU,GPU,FPGA} specialization).
 #pragma once
 
+#include <optional>
+
 #include "ir/sdfg.hpp"
 
 namespace dace::xf {
@@ -18,6 +20,9 @@ struct AutoOptOptions {
   bool tile_wcr = true;         // tile WCR maps
   bool transient_mitigation = true;
   int64_t wcr_tile_size = 1024;
+  /// Run the semantic analyzer after every pass (Pipeline verify mode);
+  /// unset = follow DACE_VERIFY_PASSES.
+  std::optional<bool> verify;
 };
 
 /// Run the full heuristic pipeline for the given device.

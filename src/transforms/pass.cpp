@@ -9,6 +9,59 @@ int apply_repeated(ir::SDFG& sdfg, const Transformation& t,
   return n;
 }
 
+Pipeline& Pipeline::add(const std::string& name, Transformation t) {
+  passes_.push_back({name, std::move(t)});
+  return *this;
+}
+
+Pipeline& Pipeline::add_fixpoint(const std::string& name, Transformation t) {
+  passes_.push_back({name, [t = std::move(t)](ir::SDFG& g) {
+                       return apply_repeated(g, t) > 0;
+                     }});
+  return *this;
+}
+
+bool Pipeline::verify() const {
+  return verify_.value_or(analysis::verify_env());
+}
+
+int Pipeline::run(ir::SDFG& sdfg) const {
+  const bool verifying = verify();
+  last_report_ = analysis::AnalysisReport();
+  std::set<std::string> baseline;
+  if (verifying) {
+    sdfg.validate();
+    baseline = analysis::analyze(sdfg).error_fingerprints();
+  }
+  int changed = 0;
+  for (const Pass& p : passes_) {
+    bool applied = false;
+    try {
+      applied = p.apply(sdfg);
+    } catch (const Error& e) {
+      throw err("pipeline '", name_, "': pass '", p.name,
+                "' failed: ", e.what());
+    }
+    if (!applied) continue;
+    ++changed;
+    if (!verifying) continue;
+    try {
+      sdfg.validate();
+    } catch (const Error& e) {
+      throw err("pipeline '", name_, "': pass '", p.name,
+                "' broke structural validation: ", e.what());
+    }
+    last_report_ = analysis::analyze(sdfg);
+    for (const auto& d : last_report_.diagnostics()) {
+      if (d.severity != analysis::Severity::Error) continue;
+      if (baseline.count(d.fingerprint())) continue;
+      throw err("pipeline '", name_, "': pass '", p.name,
+                "' introduced a semantic error: ", d.to_string());
+    }
+  }
+  return changed;
+}
+
 void rename_map_params(ir::State& st, int entry,
                        const std::vector<std::string>& new_params) {
   auto* me = st.node_as<ir::MapEntry>(entry);

@@ -5,12 +5,22 @@
 // elements, so repeated application terminates.  apply_repeated() runs a
 // transformation to fixpoint, mirroring the paper's dataflow-coarsening
 // pass; auto_optimize.hpp chains them into the -O3-equivalent pipeline.
+//
+// Pipeline sequences named passes and, in verify mode (set_verify(true)
+// or DACE_VERIFY_PASSES=1), re-validates the graph and runs the semantic
+// analyzer (analysis/analysis.hpp) after every pass that changed it --
+// the verify-after-every-transformation discipline of the paper's
+// correctness story.  A pass that introduces a new semantic error
+// (race, out-of-bounds memlet, uninitialized read) aborts the pipeline
+// with a dace::Error naming the pass and the finding.
 #pragma once
 
 #include <functional>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include "analysis/analysis.hpp"
 #include "ir/sdfg.hpp"
 
 namespace dace::xf {
@@ -22,6 +32,47 @@ using Transformation = std::function<bool(ir::SDFG&)>;
 /// Apply `t` until fixpoint; returns the number of applications.
 int apply_repeated(ir::SDFG& sdfg, const Transformation& t,
                    int max_iterations = 10000);
+
+/// A named pipeline stage.
+struct Pass {
+  std::string name;
+  Transformation apply;
+};
+
+/// An ordered sequence of passes with optional verify-after-every-pass.
+class Pipeline {
+ public:
+  explicit Pipeline(std::string name) : name_(std::move(name)) {}
+
+  /// Append a pass that runs once.
+  Pipeline& add(const std::string& name, Transformation t);
+  /// Append a pass that runs `t` to fixpoint (apply_repeated).
+  Pipeline& add_fixpoint(const std::string& name, Transformation t);
+
+  /// Force verify mode on or off (overrides the environment).
+  void set_verify(bool v) { verify_ = v; }
+  /// Effective verify mode: explicit setting, else DACE_VERIFY_PASSES.
+  bool verify() const;
+
+  const std::string& name() const { return name_; }
+  const std::vector<Pass>& passes() const { return passes_; }
+
+  /// Run all passes in order; returns how many changed the graph.  In
+  /// verify mode the semantic findings present *before* the pipeline are
+  /// taken as the baseline, and any pass whose application adds a new
+  /// error-severity finding (or breaks structural validation) throws.
+  int run(ir::SDFG& sdfg) const;
+
+  /// Report of the last analysis performed by run() in verify mode
+  /// (empty when verify is off).
+  const analysis::AnalysisReport& last_report() const { return last_report_; }
+
+ private:
+  std::string name_;
+  std::vector<Pass> passes_;
+  std::optional<bool> verify_;
+  mutable analysis::AnalysisReport last_report_;
+};
 
 // -- shared graph-surgery helpers -------------------------------------------
 

@@ -101,5 +101,63 @@ TEST(Subset, ToString) {
   EXPECT_EQ(s.to_string(), "[0:N, i]");
 }
 
+TEST(Subset, StridedDisjointResidueClasses) {
+  Expr N = S("N");
+  // Even vs odd lattice: 0:2N:2 vs 1:2N:2 never meet although their
+  // covering intervals overlap.
+  Subset even({Range(Expr(0), N * Expr(2), Expr(2))});
+  Subset odd({Range(Expr(1), N * Expr(2), Expr(2))});
+  auto d = Subset::disjoint(even, odd);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_TRUE(*d);
+}
+
+TEST(Subset, StridedOverlapSameLattice) {
+  Expr N = S("N");
+  // Same lattice, same interval: provable overlap.
+  Subset a({Range(Expr(0), N * Expr(2), Expr(2))});
+  Subset b({Range(Expr(0), N * Expr(2), Expr(2))});
+  auto d = Subset::disjoint(a, b);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(*d);
+  // Offset by a multiple of the step: begins differ but 2 is a shared
+  // lattice point of both progressions.
+  Subset e({Range(Expr(0), Expr(100), Expr(2))});
+  Subset f({Range(Expr(2), Expr(100), Expr(2))});
+  d = Subset::disjoint(e, f);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_FALSE(*d);
+}
+
+TEST(Subset, NonPositiveStepDrawsNoConclusion) {
+  Expr N = S("N");
+  // A step of unknown sign inverts the covering interval; the analysis
+  // must not claim anything.
+  Subset a({Range(Expr(0), N, S("s") - S("t"))});
+  Subset b({Range(N, N * Expr(2))});
+  EXPECT_FALSE(Subset::disjoint(a, b).has_value());
+}
+
+TEST(Subset, CoversIdenticalStridedSymbolic) {
+  Expr N = S("N");
+  // Identical strided ranges with symbolic bounds cover each other.
+  Subset a({Range(Expr(0), N, Expr(2))});
+  Subset b({Range(Expr(0), N, Expr(2))});
+  EXPECT_TRUE(a.covers(b));
+  EXPECT_TRUE(b.covers(a));
+}
+
+TEST(Subset, CoversSubLattice) {
+  // 0:100:4 is inside 0:100:2 (same residue class, coarser begin/end),
+  // but 1:100:2 is not (misaligned).
+  Subset coarse({Range(Expr(0), Expr(100), Expr(2))});
+  Subset fine({Range(Expr(0), Expr(100), Expr(4))});
+  EXPECT_FALSE(coarse.covers(fine));  // different steps: conservative
+  Subset shifted({Range(Expr(2), Expr(100), Expr(2))});
+  EXPECT_TRUE(coarse.covers(shifted));
+  Subset odd({Range(Expr(1), Expr(100), Expr(2))});
+  EXPECT_FALSE(coarse.covers(odd));
+}
+
 }  // namespace
 }  // namespace dace::sym
