@@ -1,15 +1,107 @@
 // google-benchmark microbenchmarks of the substrate hot paths: the
-// bytecode VM, eager tensor ops, symbolic engine, and simMPI primitives.
+// bytecode VM (with and without the Tier-0 optimizer), eager tensor ops,
+// symbolic engine, and simMPI primitives.
 #include <benchmark/benchmark.h>
 
 #include "distributed/simmpi.hpp"
 #include "frontend/lowering.hpp"
 #include "kernels/suite.hpp"
+#include "runtime/bytecode_opt.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/tensor_ops.hpp"
 #include "transforms/auto_optimize.hpp"
 
 using namespace dace;
+
+namespace {
+
+/// A map-scope bytecode program bound to fresh tensors, ready for vm_run.
+struct MapBench {
+  rt::Program prog;
+  std::vector<rt::Tensor> store;
+  std::vector<rt::ArrayRef> arrays;
+  std::vector<int64_t> syms;
+  int64_t begin = 0, end = 0;
+};
+
+MapBench make_map_bench(const std::string& source,
+                        const sym::SymbolMap& sizes, bool optimize) {
+  MapBench mb;
+  auto sdfg = fe::compile_to_sdfg(source);
+  xf::auto_optimize(*sdfg, ir::DeviceType::CPU);
+  for (int s = 0; s < sdfg->num_states(); ++s) {
+    const ir::State& st = sdfg->state(s);
+    for (int id : st.node_ids()) {
+      if (st.node(id)->kind != ir::NodeKind::MapEntry ||
+          st.scope_of(id) != -1)
+        continue;
+      mb.prog = rt::compile_map_scope(*sdfg, st, id);
+      if (optimize) rt::optimize_program(mb.prog);
+      unsigned seed = 11;
+      for (const std::string& name : mb.prog.arrays) {
+        const auto& desc = sdfg->arrays().at(name);
+        std::vector<int64_t> shape;
+        for (const auto& e : desc.shape) shape.push_back(e.eval(sizes));
+        mb.store.emplace_back(desc.dtype, shape);
+        kernels::fill_pattern(mb.store.back(), seed++);
+      }
+      for (size_t i = 0; i < mb.store.size(); ++i)
+        mb.arrays.push_back(rt::ArrayRef{mb.store[i].data(),
+                                         mb.store[i].dtype()});
+      for (const std::string& sy : mb.prog.symbols)
+        mb.syms.push_back(sizes.at(sy));
+      const auto* me = st.node_as<const ir::MapEntry>(id);
+      mb.begin = me->range.range(0).begin.eval(sizes);
+      mb.end = me->range.range(0).end.eval(sizes);
+      return mb;
+    }
+  }
+  return mb;
+}
+
+constexpr const char* kStencilSrc = R"(
+@dace.program
+def stencil(A: dace.float64[N, N], B: dace.float64[N, N]):
+    B[1:-1, 1:-1] = 0.2 * (A[1:-1, 1:-1] + A[1:-1, :-2] +
+                           A[1:-1, 2:] + A[2:, 1:-1] + A[:-2, 1:-1])
+)";
+
+constexpr const char* kOffsetSrc = R"(
+@dace.program
+def scale2d(A: dace.float64[N, N], B: dace.float64[N, N]):
+    B[:, :] = 2.0 * A[:, :]
+)";
+
+void run_map_bench(benchmark::State& state, const char* src,
+                   int64_t items_per_sweep) {
+  MapBench mb = make_map_bench(src, {{"N", state.range(1)}},
+                               state.range(0) != 0);
+  rt::VMStats per_sweep;
+  rt::vm_run(mb.prog, mb.arrays, mb.syms, mb.begin, mb.end, &per_sweep);
+  for (auto _ : state) {
+    rt::vm_run(mb.prog, mb.arrays, mb.syms, mb.begin, mb.end, nullptr);
+  }
+  state.SetItemsProcessed(state.iterations() * items_per_sweep);
+  state.counters["instrs/sweep"] = (double)per_sweep.instrs;
+}
+
+}  // namespace
+
+// VM dispatch cost on a fused stencil body, Tier-0 optimizer off (arg 0)
+// and on (arg 1).  instrs/sweep shows the executed-instruction reduction.
+static void BM_VmStencilDispatch(benchmark::State& state) {
+  int64_t n = state.range(1);
+  run_map_bench(state, kStencilSrc, (n - 2) * (n - 2));
+}
+BENCHMARK(BM_VmStencilDispatch)->Args({0, 128})->Args({1, 128});
+
+// Per-iteration offset polynomial (i*N + j) vs induction-variable
+// increments after strength reduction.
+static void BM_VmOffsetStrengthReduction(benchmark::State& state) {
+  int64_t n = state.range(1);
+  run_map_bench(state, kOffsetSrc, n * n);
+}
+BENCHMARK(BM_VmOffsetStrengthReduction)->Args({0, 256})->Args({1, 256});
 
 static void BM_TensorAdd(benchmark::State& state) {
   rt::Tensor a(ir::DType::f64, {state.range(0)});

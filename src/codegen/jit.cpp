@@ -12,6 +12,41 @@
 
 namespace dace::cg {
 
+namespace detail {
+
+LoadedObject build_and_load(const std::string& source,
+                            const std::string& name,
+                            const std::string& symbol,
+                            const std::string& compiler) {
+  LoadedObject out;
+  char dir[] = "/tmp/daceppXXXXXX";
+  if (!mkdtemp(dir)) return out;
+  std::string base = std::string(dir) + "/" + name;
+  std::string cpp = base + ".cpp";
+  std::string so = base + ".so";
+  {
+    std::ofstream f(cpp);
+    f << source;
+  }
+  std::string cmd = compiler + " -O2 -fPIC -shared -std=c++17 -o " + so +
+                    " " + cpp + " 2>" + base + ".log";
+  auto t0 = std::chrono::steady_clock::now();
+  int rc = std::system(cmd.c_str());
+  auto t1 = std::chrono::steady_clock::now();
+  out.compile_seconds = std::chrono::duration<double>(t1 - t0).count();
+  if (rc != 0) return out;
+  out.handle = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
+  if (!out.handle) return out;
+  out.sym = dlsym(out.handle, symbol.c_str());
+  if (!out.sym) {
+    dlclose(out.handle);
+    out.handle = nullptr;
+  }
+  return out;
+}
+
+}  // namespace detail
+
 CompiledProgram::~CompiledProgram() {
   if (handle_) dlclose(handle_);
 }
@@ -37,26 +72,48 @@ CompiledProgram& CompiledProgram::operator=(CompiledProgram&& o) noexcept {
 CompiledProgram compile(const ir::SDFG& sdfg, const std::string& compiler) {
   CompiledProgram out;
   std::string src = generate(sdfg, Flavor::CPU);
-  char dir[] = "/tmp/daceppXXXXXX";
-  if (!mkdtemp(dir)) return out;
-  std::string base = std::string(dir) + "/" + sdfg.name();
-  std::string cpp = base + ".cpp";
-  std::string so = base + ".so";
-  {
-    std::ofstream f(cpp);
-    f << src;
+  detail::LoadedObject obj =
+      detail::build_and_load(src, sdfg.name(), sdfg.name(), compiler);
+  out.compile_seconds_ = obj.compile_seconds;
+  out.handle_ = obj.handle;
+  out.fn_ = reinterpret_cast<CompiledFn>(obj.sym);
+  return out;
+}
+
+CompiledMapNative::~CompiledMapNative() {
+  if (handle_) dlclose(handle_);
+}
+
+CompiledMapNative::CompiledMapNative(CompiledMapNative&& o) noexcept
+    : handle_(o.handle_), fn_(o.fn_), compile_seconds_(o.compile_seconds_) {
+  o.handle_ = nullptr;
+  o.fn_ = nullptr;
+}
+
+CompiledMapNative& CompiledMapNative::operator=(
+    CompiledMapNative&& o) noexcept {
+  if (this != &o) {
+    if (handle_) dlclose(handle_);
+    handle_ = o.handle_;
+    fn_ = o.fn_;
+    compile_seconds_ = o.compile_seconds_;
+    o.handle_ = nullptr;
+    o.fn_ = nullptr;
   }
-  std::string cmd = compiler + " -O2 -fPIC -shared -std=c++17 -o " + so +
-                    " " + cpp + " 2>" + base + ".log";
-  auto t0 = std::chrono::steady_clock::now();
-  int rc = std::system(cmd.c_str());
-  auto t1 = std::chrono::steady_clock::now();
-  out.compile_seconds_ = std::chrono::duration<double>(t1 - t0).count();
-  if (rc != 0) return out;
-  out.handle_ = dlopen(so.c_str(), RTLD_NOW | RTLD_LOCAL);
-  if (!out.handle_) return out;
-  out.fn_ = reinterpret_cast<CompiledFn>(dlsym(out.handle_,
-                                               sdfg.name().c_str()));
+  return *this;
+}
+
+CompiledMapNative compile_map_native(const rt::Program& prog,
+                                     const std::vector<ir::DType>& dtypes,
+                                     const std::string& fn_name,
+                                     const std::string& compiler) {
+  CompiledMapNative out;
+  std::string src = generate_map_source(prog, dtypes, fn_name);
+  detail::LoadedObject obj =
+      detail::build_and_load(src, fn_name, fn_name, compiler);
+  out.compile_seconds_ = obj.compile_seconds;
+  out.handle_ = obj.handle;
+  out.fn_ = reinterpret_cast<MapNativeFn>(obj.sym);
   return out;
 }
 

@@ -1,19 +1,48 @@
 // JIT-through-the-system-compiler (the AOT pipeline of Section 3.3,
 // exercised at runtime): write generated C++ to a temporary file, build a
 // shared object with the host compiler, dlopen it, and return the entry
-// point.  Used by the aot_codegen example, the generated-code tests and
-// the Fig. 6 compile-time benchmark; callers must handle absence of a
-// compiler (compile() returns an empty handle).
+// point.  Two front doors share the machinery:
+//   - compile():           whole-SDFG programs (aot_codegen example, the
+//                          generated-code tests, the Fig. 6 benchmark)
+//   - compile_map_native(): single map-scope bytecode programs, used by
+//                          the executor's Tier-1 promotion (runtime/
+//                          tiering.cpp)
+// Callers must handle absence of a compiler (valid() is false).
 #pragma once
 
+#include <cstdint>
 #include <string>
+#include <vector>
 
 #include "ir/sdfg.hpp"
+#include "runtime/bytecode.hpp"
 
 namespace dace::cg {
 
-/// Entry point signature of generated programs.
+/// Entry point signature of generated whole-SDFG programs.
 using CompiledFn = void (*)(double** args, long long* syms);
+
+/// Entry point signature of generated map-scope programs.  `arrays` and
+/// `syms` are indexed by the bytecode Program's slots; for splittable
+/// programs lo/hi carry the outer chunk bounds (the i0/i1 protocol of
+/// vm_run), so ThreadPool worksharing drives native code and the VM
+/// identically.
+using MapNativeFn = void (*)(double* const* arrays, const int64_t* syms,
+                             int64_t lo, int64_t hi);
+
+namespace detail {
+/// Shared build pipeline: write `source`, compile to a shared object,
+/// dlopen, dlsym `symbol`. On any failure the handle is null.
+struct LoadedObject {
+  void* handle = nullptr;
+  void* sym = nullptr;
+  double compile_seconds = 0;
+};
+LoadedObject build_and_load(const std::string& source,
+                            const std::string& name,
+                            const std::string& symbol,
+                            const std::string& compiler);
+}  // namespace detail
 
 class CompiledProgram {
  public:
@@ -41,5 +70,43 @@ class CompiledProgram {
 /// compiler is available.
 CompiledProgram compile(const ir::SDFG& sdfg,
                         const std::string& compiler = "c++");
+
+/// Natively compiled map-scope program (Tier 1 of the tiered executor).
+class CompiledMapNative {
+ public:
+  CompiledMapNative() = default;
+  ~CompiledMapNative();
+  CompiledMapNative(CompiledMapNative&& o) noexcept;
+  CompiledMapNative& operator=(CompiledMapNative&& o) noexcept;
+  CompiledMapNative(const CompiledMapNative&) = delete;
+  CompiledMapNative& operator=(const CompiledMapNative&) = delete;
+
+  bool valid() const { return fn_ != nullptr; }
+  MapNativeFn fn() const { return fn_; }
+  double compile_seconds() const { return compile_seconds_; }
+
+ private:
+  friend CompiledMapNative compile_map_native(const rt::Program&,
+                                              const std::vector<ir::DType>&,
+                                              const std::string&,
+                                              const std::string&);
+  void* handle_ = nullptr;
+  MapNativeFn fn_ = nullptr;
+  double compile_seconds_ = 0;
+};
+
+/// Lower a Tier-0 bytecode program to standalone C++ (goto-structured;
+/// the host compiler rediscovers the loop nest and vectorizes).
+/// `dtypes[slot]` is the container dtype of each array slot, baked into
+/// the generated store casts.  Implemented in program_codegen.cpp.
+std::string generate_map_source(const rt::Program& prog,
+                                const std::vector<ir::DType>& dtypes,
+                                const std::string& fn_name);
+
+/// Build generate_map_source output with the host compiler and load it.
+CompiledMapNative compile_map_native(const rt::Program& prog,
+                                     const std::vector<ir::DType>& dtypes,
+                                     const std::string& fn_name,
+                                     const std::string& compiler = "c++");
 
 }  // namespace dace::cg

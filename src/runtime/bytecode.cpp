@@ -55,9 +55,11 @@ void vm_run(const Program& prog, const std::vector<ArrayRef>& arrays,
   size_t pc = 0;
   for (;;) {
     const Instr& in = code[pc];
+    ++local.instrs;
     switch (in.op) {
       case Op::IConst: ir[in.a] = in.imm; break;
       case Op::ISym: ir[in.a] = syms[static_cast<size_t>(in.imm)]; break;
+      case Op::IMov: ir[in.a] = ir[in.b]; break;
       case Op::IAdd: ir[in.a] = ir[in.b] + ir[in.c]; break;
       case Op::ISub: ir[in.a] = ir[in.b] - ir[in.c]; break;
       case Op::IMul: ir[in.a] = ir[in.b] * ir[in.c]; break;
@@ -155,7 +157,7 @@ void vm_run(const Program& prog, const std::vector<ArrayRef>& arrays,
 
 std::string Program::disassemble() const {
   static const char* names[] = {
-      "iconst", "isym", "iadd", "isub", "imul", "ifloordiv", "imod",
+      "iconst", "isym", "imov", "iadd", "isub", "imul", "ifloordiv", "imod",
       "imin", "imax", "jmp", "jge", "fconst", "fsym", "ffromi", "load",
       "store", "storewcr", "fadd", "fsub", "fmul", "fdiv", "fpow", "fmod",
       "fmin", "fmax", "flt", "fle", "fgt", "fge", "feq", "fne", "fand",
@@ -170,6 +172,34 @@ std::string Program::disassemble() const {
     os << "\n";
   }
   return os.str();
+}
+
+uint64_t Program::hash() const {
+  // FNV-1a over the semantically meaningful fields (never the raw struct
+  // bytes -- padding would leak indeterminate values into the key).
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  mix(static_cast<uint64_t>(code.size()));
+  for (const Instr& in : code) {
+    mix(static_cast<uint64_t>(in.op) | (uint64_t)in.a << 8 |
+        (uint64_t)in.b << 24 | (uint64_t)in.c << 40 | (uint64_t)in.flag << 56);
+    mix(static_cast<uint64_t>(in.imm));
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(in.fimm));
+    __builtin_memcpy(&bits, &in.fimm, sizeof(bits));
+    mix(bits);
+  }
+  mix(static_cast<uint64_t>(n_iregs));
+  mix(static_cast<uint64_t>(n_fregs));
+  mix(static_cast<uint64_t>(arrays.size()));
+  mix(static_cast<uint64_t>(symbols.size()));
+  mix(splittable ? 1 : 0);
+  return h;
 }
 
 }  // namespace dace::rt

@@ -24,6 +24,7 @@ enum class Op : uint8_t {
   // integer
   IConst,   // i[a] = imm
   ISym,     // i[a] = symbol_slot[imm]
+  IMov,     // i[a] = i[b]
   IAdd, ISub, IMul, IFloorDiv, IMod, IMin, IMax,  // i[a] = i[b] . i[c]
   // control flow
   Jmp,      // goto imm
@@ -62,12 +63,14 @@ struct VMStats {
   uint64_t loads = 0;
   uint64_t stores = 0;
   uint64_t wcr_stores = 0;
+  uint64_t instrs = 0;      // dispatched VM instructions
 
   VMStats& operator+=(const VMStats& o) {
     flops += o.flops;
     loads += o.loads;
     stores += o.stores;
     wcr_stores += o.wcr_stores;
+    instrs += o.instrs;
     return *this;
   }
 };
@@ -97,6 +100,12 @@ struct Program {
     return (int)symbols.size() - 1;
   }
   std::string disassemble() const;
+
+  /// Stable fingerprint of the instruction stream and register/slot
+  /// layout.  Two programs with equal hashes execute identically for the
+  /// same runtime bindings; the native tier keys its code cache on this
+  /// (combined with the bound array dtypes).
+  uint64_t hash() const;
 };
 
 /// Execute `prog`. `arrays`/`syms` are indexed by the program's slots.

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "analysis/analysis.hpp"
+#include "runtime/bytecode_opt.hpp"
 #include "runtime/tensor_ops.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -39,7 +40,10 @@ const LibraryHandler* LibraryRegistry::find(const std::string& op) const {
 // ---------------------------------------------------------------------------
 
 Executor::Executor(const ir::SDFG& sdfg, ExecutorOptions opts)
-    : sdfg_(sdfg), opts_(opts) {}
+    : sdfg_(sdfg),
+      opts_(opts),
+      tier_cfg_(TierConfig::from_env()),
+      bc_opt_(bytecode_opt_enabled()) {}
 
 Executor::~Executor() = default;
 
@@ -238,9 +242,13 @@ void Executor::execute_map(const ir::State& st, int node) {
   auto key = std::make_pair(sid, node);
   auto it = programs_.find(key);
   if (it == programs_.end()) {
-    it = programs_.emplace(key, compile_map_scope(sdfg_, st, node)).first;
+    TieredProgram tp;
+    tp.prog = compile_map_scope(sdfg_, st, node);
+    if (bc_opt_) optimize_program(tp.prog);
+    it = programs_.emplace(key, std::move(tp)).first;
   }
-  const Program& prog = it->second;
+  TieredProgram& tp = it->second;
+  const Program& prog = tp.prog;
 
   // Bind array slots and symbol slots.
   std::vector<ArrayRef> arrays(prog.arrays.size());
@@ -269,6 +277,48 @@ void Executor::execute_map(const ir::State& st, int node) {
                   (me->schedule == ir::Schedule::CPUParallel ||
                    me->schedule == ir::Schedule::GPUDevice) &&
                   prog.splittable;
+
+  // Tier-1 promotion.  Disabled whenever a launch hook is installed: the
+  // device simulators charge their cost models from per-launch VMStats
+  // deltas, and native execution produces none.
+  bool jit_ok = tier_cfg_.enabled && !opts_.launch_hook && !tp.native_failed;
+  if (jit_ok && !tp.native) {
+    tp.iterations += iters;
+    if (tp.iterations >= tier_cfg_.threshold) {
+      std::vector<ir::DType> dtypes(arrays.size());
+      for (size_t i = 0; i < arrays.size(); ++i) dtypes[i] = arrays[i].dtype;
+      tp.native = request_native(prog, dtypes, tier_cfg_);
+      ++native_promotions_;
+    }
+  }
+  if (jit_ok && tp.native) {
+    int state = tp.native->state.load(std::memory_order_acquire);
+    if (state == NativeProgram::kFailed) {
+      // No host compiler (or a build error): pin this program to Tier 0.
+      tp.native_failed = true;
+      tp.native.reset();
+    } else if (state == NativeProgram::kReady) {
+      cg::MapNativeFn fn = tp.native->fn;
+      std::vector<double*> bases(arrays.size());
+      for (size_t i = 0; i < arrays.size(); ++i) bases[i] = arrays[i].base;
+      ++native_launches_;
+      if (!parallel) {
+        if (prog.splittable) {
+          fn(bases.data(), symvals.data(), begin, end);
+        } else {
+          fn(bases.data(), symvals.data(), 0, 0);
+        }
+      } else {
+        ThreadPool::global().parallel_for(iters, [&](int64_t lo, int64_t hi) {
+          fn(bases.data(), symvals.data(), begin + lo * step,
+             begin + hi * step);
+        });
+      }
+      return;
+    }
+    // Still compiling: keep interpreting below.
+  }
+
   VMStats* stats = opts_.collect_stats ? &stats_ : nullptr;
   if (!parallel) {
     if (prog.splittable) {

@@ -17,6 +17,7 @@
 #include "ir/sdfg.hpp"
 #include "runtime/bytecode.hpp"
 #include "runtime/tensor.hpp"
+#include "runtime/tiering.hpp"
 
 namespace dace::rt {
 
@@ -84,6 +85,11 @@ class Executor {
   /// Number of top-level map executions ("kernel launches").
   int64_t map_launches() const { return map_launches_; }
   int64_t library_calls() const { return library_calls_; }
+  /// Map executions dispatched to Tier-1 native code (subset of
+  /// map_launches; native runs do not accumulate VMStats).
+  int64_t native_launches() const { return native_launches_; }
+  /// Programs promoted to Tier 1 (native compilations requested).
+  int64_t native_promotions() const { return native_promotions_; }
 
   const ExecutorOptions& options() const { return opts_; }
 
@@ -99,18 +105,31 @@ class Executor {
   void execute_library(const ir::State& st, int node);
   void execute_nested(const ir::State& st, int node);
 
+  /// Per-map tiered execution state: the (optimized) Tier-0 bytecode plus
+  /// promotion bookkeeping and, once hot, the shared native handle.
+  struct TieredProgram {
+    Program prog;
+    int64_t iterations = 0;      // cumulative, drives promotion
+    bool native_failed = false;  // pinned to Tier 0 after a failed build
+    std::shared_ptr<NativeProgram> native;
+  };
+
   const ir::SDFG& sdfg_;
   ExecutorOptions opts_;
   sym::SymbolMap syms_;
   Bindings env_;
   Bindings persistent_;  // persistent transients survive across run()
   // Compiled map programs, keyed by (state id, entry node id).
-  std::map<std::pair<int, int>, Program> programs_;
+  std::map<std::pair<int, int>, TieredProgram> programs_;
   // Child executors for nested SDFG nodes.
   std::map<std::pair<int, int>, std::unique_ptr<Executor>> children_;
   VMStats stats_;
+  TierConfig tier_cfg_;
+  bool bc_opt_ = true;
   int64_t map_launches_ = 0;
   int64_t library_calls_ = 0;
+  int64_t native_launches_ = 0;
+  int64_t native_promotions_ = 0;
   bool validated_ = false;
 };
 

@@ -41,9 +41,18 @@ class MapCompiler {
     }
     // i0/i1 reserved for the split outer bounds.
     next_ireg_ = 2;
-    // Preamble marker: instructions emitted before this index run once.
     emit_scope(top_entry_, /*outermost=*/true);
     emit(Op::Halt);
+    // Loop-invariant expressions were collected into a preamble that runs
+    // once; splice it in front and retarget the body's jumps.
+    if (!preamble_.empty()) {
+      int64_t shift = (int64_t)preamble_.size();
+      for (Instr& in : prog_.code) {
+        if (in.op == Op::Jmp || in.op == Op::JGe) in.imm += shift;
+      }
+      prog_.code.insert(prog_.code.begin(), preamble_.begin(),
+                        preamble_.end());
+    }
     prog_.n_iregs = next_ireg_;
     prog_.n_fregs = std::max(next_freg_, 1);
     return std::move(prog_);
@@ -61,13 +70,15 @@ class MapCompiler {
   std::map<std::string, int> scalar_reg_;      // scalar transient -> freg
   std::set<std::string> register_scalars_;     // in-scope scalar transients
   std::map<int, int> tasklet_out_freg_;        // tasklet node -> freg
-  std::vector<size_t> preamble_slots_;         // positions to re-emit? (none)
+  std::vector<Instr> preamble_;                // runs once, before the body
   bool in_loop_ = false;
+  bool to_preamble_ = false;
 
   size_t emit(Op op, uint16_t a = 0, uint16_t b = 0, uint16_t c = 0,
               int64_t imm = 0, double fimm = 0, uint8_t flag = 0) {
-    prog_.code.push_back(Instr{op, a, b, c, flag, imm, fimm});
-    return prog_.code.size() - 1;
+    std::vector<Instr>& out = to_preamble_ ? preamble_ : prog_.code;
+    out.push_back(Instr{op, a, b, c, flag, imm, fimm});
+    return out.size() - 1;
   }
 
   int ireg() {
@@ -86,17 +97,24 @@ class MapCompiler {
     return true;
   }
 
-  /// Emit integer expression into a register.
+  /// Emit integer expression into a register.  Expressions with no map
+  /// parameters (strides, symbolic bounds like an inner loop's `N`) are
+  /// emitted into the once-run preamble and cached, even when requested
+  /// from inside a loop -- nested scopes then reuse the same register
+  /// instead of re-evaluating per outer iteration.
   int emit_expr(const Expr& e) {
-    // Hoist loop-invariant expressions: before any loop starts they are
-    // cached; inside loops we still cache per-string within this program
-    // (they were emitted in the preamble or an enclosing scope).
     std::string key = e.to_string();
     if (auto it = invariant_reg_.find(key); it != invariant_reg_.end())
       return it->second;
-    int r = emit_expr_inner(e);
-    if (expr_is_invariant(e) && !in_loop_) invariant_reg_[key] = r;
-    return r;
+    if (expr_is_invariant(e)) {
+      bool saved = to_preamble_;
+      to_preamble_ = true;
+      int r = emit_expr_inner(e);
+      to_preamble_ = saved;
+      invariant_reg_[key] = r;
+      return r;
+    }
+    return emit_expr_inner(e);
   }
 
   int emit_expr_inner(const Expr& e) {
@@ -257,9 +275,7 @@ class MapCompiler {
       }
       int step_reg = emit_expr(r.step);
       int var = ireg();
-      // var = begin + 0
-      int zero = emit_expr(Expr(int64_t{0}));
-      emit(Op::IAdd, (uint16_t)var, (uint16_t)begin_reg, (uint16_t)zero);
+      emit(Op::IMov, (uint16_t)var, (uint16_t)begin_reg);
       size_t cond = emit(Op::JGe, (uint16_t)var, (uint16_t)end_reg, 0,
                          /*imm target patched later*/ 0);
       param_reg_[me->params[d]] = var;
@@ -292,13 +308,13 @@ class MapCompiler {
       }
     }
 
-    // Close loops innermost-first.
+    // Close loops innermost-first: a single in-place increment per
+    // back-edge (the canonical latch pattern the bytecode optimizer's
+    // strength reduction keys on).
     for (size_t d = loops.size(); d-- > 0;) {
       const LoopInfo& li = loops[d];
-      int nv = ireg();
-      emit(Op::IAdd, (uint16_t)nv, (uint16_t)li.var, (uint16_t)li.step_reg);
-      emit(Op::IAdd, (uint16_t)li.var, (uint16_t)nv,
-           (uint16_t)emit_expr(Expr(int64_t{0})));
+      emit(Op::IAdd, (uint16_t)li.var, (uint16_t)li.var,
+           (uint16_t)li.step_reg);
       emit(Op::Jmp, 0, 0, 0, (int64_t)li.cond_pos);
       prog_.code[li.cond_pos].imm = (int64_t)prog_.code.size();
       param_reg_.erase(me->params[d]);

@@ -27,7 +27,7 @@ ThreadPool::~ThreadPool() {
 void ThreadPool::worker_loop(int index) {
   uint64_t seen = 0;
   for (;;) {
-    std::function<void(int)> job;
+    function_ref<void(int)> job;
     {
       std::unique_lock<std::mutex> lk(mu_);
       cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
@@ -45,7 +45,7 @@ void ThreadPool::worker_loop(int index) {
   }
 }
 
-void ThreadPool::run_on_all(const std::function<void(int)>& body) {
+void ThreadPool::run_on_all(function_ref<void(int)> body) {
   if (num_threads_ == 1 || in_parallel_region_) {
     for (int i = 0; i < num_threads_; ++i) body(i);
     return;
@@ -64,8 +64,8 @@ void ThreadPool::run_on_all(const std::function<void(int)>& body) {
   cv_done_.wait(lk, [&] { return pending_ == 0; });
 }
 
-void ThreadPool::parallel_for(
-    int64_t n, const std::function<void(int64_t, int64_t)>& body) {
+void ThreadPool::parallel_for(int64_t n,
+                              function_ref<void(int64_t, int64_t)> body) {
   if (n <= 0) return;
   if (num_threads_ == 1 || in_parallel_region_ || n < 2 * num_threads_) {
     body(0, n);

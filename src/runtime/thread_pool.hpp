@@ -9,12 +9,49 @@
 
 #include <condition_variable>
 #include <cstdint>
-#include <functional>
 #include <mutex>
 #include <thread>
+#include <type_traits>
+#include <utility>
 #include <vector>
 
 namespace dace::rt {
+
+/// Non-owning reference to a callable: a data pointer plus a trampoline.
+/// Trivially copyable and never allocates, unlike std::function -- the
+/// per-launch dispatch path uses it so a parallel map adds no heap
+/// traffic.  The referenced callable must outlive every call (satisfied
+/// here: parallel_for/run_on_all block until all workers finish).
+template <typename Sig>
+class function_ref;
+
+template <typename R, typename... Args>
+class function_ref<R(Args...)> {
+ public:
+  function_ref() = default;
+
+  template <typename F,
+            typename = std::enable_if_t<
+                !std::is_same_v<std::decay_t<F>, function_ref> &&
+                std::is_invocable_r_v<R, F&, Args...>>>
+  function_ref(F&& f)  // NOLINT: implicit by design, mirrors std::function
+      : obj_(const_cast<void*>(
+            static_cast<const void*>(std::addressof(f)))),
+        call_([](void* obj, Args... args) -> R {
+          return (*static_cast<std::remove_reference_t<F>*>(obj))(
+              std::forward<Args>(args)...);
+        }) {}
+
+  R operator()(Args... args) const {
+    return call_(obj_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const { return call_ != nullptr; }
+
+ private:
+  void* obj_ = nullptr;
+  R (*call_)(void*, Args...) = nullptr;
+};
 
 class ThreadPool {
  public:
@@ -28,11 +65,10 @@ class ThreadPool {
 
   /// Run body(begin, end) over [0, n) split statically across workers.
   /// The calling thread participates. Nested calls run inline.
-  void parallel_for(int64_t n,
-                    const std::function<void(int64_t, int64_t)>& body);
+  void parallel_for(int64_t n, function_ref<void(int64_t, int64_t)> body);
 
   /// Run body(worker_index) once on every worker (SPMD-style).
-  void run_on_all(const std::function<void(int)>& body);
+  void run_on_all(function_ref<void(int)> body);
 
   /// Process-global pool (DACEPP_NUM_THREADS or hardware concurrency).
   static ThreadPool& global();
@@ -44,7 +80,7 @@ class ThreadPool {
   std::vector<std::thread> workers_;
   std::mutex mu_;
   std::condition_variable cv_start_, cv_done_;
-  std::function<void(int)> job_;  // worker index -> work
+  function_ref<void(int)> job_;  // worker index -> work
   uint64_t generation_ = 0;
   int pending_ = 0;
   bool stop_ = false;

@@ -1,0 +1,93 @@
+#include "runtime/tiering.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <tuple>
+
+namespace dace::rt {
+
+namespace {
+
+/// Cache key: program fingerprint, the dtypes baked into the store casts,
+/// and the compiler (so a failed build under one toolchain never shadows a
+/// working one).
+using CacheKey =
+    std::tuple<uint64_t, std::vector<ir::DType>, std::string>;
+
+struct Cache {
+  std::mutex mu;
+  std::map<CacheKey, std::shared_ptr<NativeProgram>> entries;
+};
+
+Cache& cache() {
+  // Leaked: detached compile threads may still publish into it at exit.
+  static Cache* c = new Cache();
+  return *c;
+}
+
+void compile_into(std::shared_ptr<NativeProgram> native, Program prog,
+                  std::vector<ir::DType> dtypes, std::string compiler) {
+  char name[32];
+  snprintf(name, sizeof(name), "dacepp_map_%016llx",
+           (unsigned long long)prog.hash());
+  cg::CompiledMapNative built =
+      cg::compile_map_native(prog, dtypes, name, compiler);
+  if (built.valid()) {
+    native->fn = built.fn();
+    native->compile_seconds = built.compile_seconds();
+    // The dlopen handle must outlive any thread that may still call fn;
+    // native code is immortal by design (cache entries are never evicted).
+    new cg::CompiledMapNative(std::move(built));
+    native->state.store(NativeProgram::kReady, std::memory_order_release);
+  } else {
+    native->state.store(NativeProgram::kFailed, std::memory_order_release);
+  }
+}
+
+}  // namespace
+
+TierConfig TierConfig::from_env() {
+  TierConfig cfg;
+  if (const char* e = std::getenv("DACEPP_JIT")) {
+    cfg.enabled = std::string(e) != "0";
+  }
+  if (const char* e = std::getenv("DACEPP_JIT_THRESHOLD")) {
+    cfg.threshold = std::atoll(e);
+  }
+  if (const char* e = std::getenv("DACEPP_JIT_SYNC")) {
+    cfg.sync = std::string(e) == "1";
+  }
+  if (const char* e = std::getenv("DACEPP_JIT_CC")) {
+    cfg.compiler = e;
+  }
+  return cfg;
+}
+
+std::shared_ptr<NativeProgram> request_native(
+    const Program& prog, const std::vector<ir::DType>& dtypes,
+    const TierConfig& cfg) {
+  CacheKey key{prog.hash(), dtypes, cfg.compiler};
+  Cache& c = cache();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto it = c.entries.find(key);
+    if (it != c.entries.end()) return it->second;
+  }
+  auto native = std::make_shared<NativeProgram>();
+  {
+    std::lock_guard<std::mutex> lock(c.mu);
+    auto [it, inserted] = c.entries.emplace(key, native);
+    if (!inserted) return it->second;  // lost the race; use the winner
+  }
+  if (cfg.sync) {
+    compile_into(native, prog, dtypes, cfg.compiler);
+  } else {
+    std::thread(compile_into, native, prog, dtypes, cfg.compiler).detach();
+  }
+  return native;
+}
+
+}  // namespace dace::rt
