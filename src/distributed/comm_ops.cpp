@@ -50,6 +50,7 @@ void isend_handler(rt::Executor& ex, const ir::State& st, int node) {
     return;
   }
   // Contiguous staging (the generated MPI vector datatype's payload).
+  OpContext oc(*ctx.comm, "comm::Isend");
   RankCtx::Pending p;
   p.staging.resize((size_t)buf.size());
   for (int64_t i = 0; i < buf.size(); ++i) p.staging[(size_t)i] = buf.get_flat(i);
@@ -83,6 +84,7 @@ void irecv_handler(rt::Executor& ex, const ir::State& st, int node) {
 
 void waitall_handler(rt::Executor& ex, const ir::State& st, int node) {
   RankCtx& ctx = ctx_of(ex);
+  OpContext oc(*ctx.comm, "comm::Waitall");
   rt::Tensor req = ex.view(in_edge(st, node, "_req_in")->memlet);
   for (int64_t i = 0; i < req.size(); ++i) {
     int64_t h = (int64_t)req.get_flat(i);
@@ -100,7 +102,9 @@ void waitall_handler(rt::Executor& ex, const ir::State& st, int node) {
 }
 
 void barrier_handler(rt::Executor& ex, const ir::State&, int) {
-  ctx_of(ex).comm->barrier();
+  RankCtx& ctx = ctx_of(ex);
+  OpContext oc(*ctx.comm, "comm::Barrier");
+  ctx.comm->barrier();
 }
 
 /// Grid block offsets of this rank for a local view shape.
@@ -156,6 +160,7 @@ void block_gather_handler(rt::Executor& ex, const ir::State& st, int node) {
 
 void allreduce_handler(rt::Executor& ex, const ir::State& st, int node) {
   RankCtx& ctx = ctx_of(ex);
+  OpContext oc(*ctx.comm, "comm::Allreduce");
   rt::Tensor in = ex.view(in_edge(st, node, "_in")->memlet);
   rt::Tensor out = ex.view(out_edge(st, node, "_out")->memlet);
   std::vector<double> buf((size_t)in.size());
@@ -166,6 +171,7 @@ void allreduce_handler(rt::Executor& ex, const ir::State& st, int node) {
 
 void bcast_handler(rt::Executor& ex, const ir::State& st, int node) {
   RankCtx& ctx = ctx_of(ex);
+  OpContext oc(*ctx.comm, "comm::Bcast");
   rt::Tensor in = ex.view(in_edge(st, node, "_in")->memlet);
   rt::Tensor out = ex.view(out_edge(st, node, "_out")->memlet);
   std::vector<double> buf((size_t)in.size());

@@ -7,8 +7,9 @@ namespace dace::dist {
 DistRunResult run_distributed_sdfg(
     World& world, const ir::SDFG& sdfg, rt::Bindings& shared_args,
     const std::function<sym::SymbolMap(int rank, int P)>& rank_symbols,
-    const NodeModel& node) {
+    const NodeModel& node, const FaultPlan* faults) {
   ensure_comm_handlers();
+  if (faults) world.set_fault_plan(*faults);
   int P = world.size();
   Grid2D grid = Grid2D::square(P);
   world.run([&](Comm& comm) {
@@ -39,6 +40,8 @@ DistRunResult run_distributed_sdfg(
   r.time_s = world.max_clock();
   r.bytes = world.total_bytes();
   r.messages = world.total_messages();
+  r.retries = world.total_retries();
+  r.faults = (int64_t)world.fault_events().size();
   return r;
 }
 

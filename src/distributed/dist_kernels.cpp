@@ -122,6 +122,7 @@ void dist_k2mm(Comm& comm, const NodeModel& node, const Sym& sizes,
 /// p?gemr2d analogue (all-to-all of sub-blocks).
 Tensor rows_to_cols(Comm& comm, const Tensor& rows, int64_t m, int64_t n,
                     int tag_base) {
+  OpContext oc(comm, "pgemr2d.rows_to_cols");
   int p = comm.size();
   int rank = comm.rank();
   int64_t mb = rows.shape()[0], nb = block_size(n, p);
@@ -357,6 +358,7 @@ void dist_jacobi_1d(Comm& comm, const NodeModel& node, const Sym& sizes,
   int left = rank > 0 ? rank - 1 : -1;
   int right = rank + 1 < p ? rank + 1 : -1;
   auto halo = [&](std::vector<double>& buf, int tag) {
+    OpContext oc(comm, "jacobi_1d.halo");
     if (left >= 0) comm.send(&buf[1], 1, left, tag);
     if (right >= 0) comm.send(&buf[(size_t)cells], 1, right, tag + 1);
     if (left >= 0) comm.recv(&buf[0], 1, left, tag + 1);
@@ -413,6 +415,7 @@ void dist_jacobi_2d(Comm& comm, const NodeModel& node, const Sym& sizes,
   int west = pc > 0 ? grid.rank_of(pr, pc - 1) : -1;
   int east = pc + 1 < grid.Pc ? grid.rank_of(pr, pc + 1) : -1;
   auto halo = [&](std::vector<double>& buf, int tag) {
+    OpContext oc(comm, "jacobi_2d.halo");
     std::vector<Comm::Request> reqs;
     // Rows are contiguous; columns use the vector datatype.
     if (north >= 0)

@@ -36,6 +36,7 @@ void pgemm(Comm& comm, const Grid2D& g, const NodeModel& node,
                                     (uint64_t)((mb * k + k * nb) * 8)));
     if (round + 1 == p) break;
     // Rotate B blocks around the ring.
+    OpContext oc(comm, "pgemm.ring round " + std::to_string(round));
     int to = (rank + p - 1) % p;
     int from = (rank + 1) % p;
     comm.send(cur.data(), cur.size(), to, 300 + round);
@@ -57,9 +58,12 @@ rt::Tensor pgemv_trans_allreduce(Comm& comm, const NodeModel& node,
                                  const rt::Tensor& x_rows, int64_t n_full) {
   // partial = x_rows^T A_rows (a vector of length n_full), then allreduce.
   rt::Tensor partial = rt::ops::matmul(x_rows, a_rows);
-  DACE_CHECK(partial.size() == n_full, "pgemv_trans: size mismatch");
+  DACE_CHECK(partial.size() == n_full, "pgemv_trans: partial result has ",
+             partial.size(), " elements, expected ", n_full, " on rank ",
+             comm.rank());
   comm.add_time(node.compute_time((uint64_t)(2 * a_rows.size()),
                                   (uint64_t)(a_rows.size() * 8)));
+  OpContext oc(comm, "pgemv_trans.allreduce");
   comm.allreduce_sum(partial.data(), partial.size());
   return partial;
 }

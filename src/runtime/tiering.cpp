@@ -4,6 +4,7 @@
 #include <cstdlib>
 #include <map>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <tuple>
 
@@ -20,6 +21,11 @@ using CacheKey =
 struct Cache {
   std::mutex mu;
   std::map<CacheKey, std::shared_ptr<NativeProgram>> entries;
+  // Negative cache on (program hash, compiler): once a build of a program
+  // fails, no dtype specialization of it probes the compiler again -- a
+  // broken toolchain is detected once and the program pinned to Tier 0,
+  // instead of a retry storm of doomed builds.
+  std::set<std::pair<uint64_t, std::string>> failed;
 };
 
 Cache& cache() {
@@ -43,6 +49,11 @@ void compile_into(std::shared_ptr<NativeProgram> native, Program prog,
     new cg::CompiledMapNative(std::move(built));
     native->state.store(NativeProgram::kReady, std::memory_order_release);
   } else {
+    {
+      Cache& c = cache();
+      std::lock_guard<std::mutex> lock(c.mu);
+      c.failed.insert({prog.hash(), compiler});
+    }
     native->state.store(NativeProgram::kFailed, std::memory_order_release);
   }
 }
@@ -75,6 +86,15 @@ std::shared_ptr<NativeProgram> request_native(
     std::lock_guard<std::mutex> lock(c.mu);
     auto it = c.entries.find(key);
     if (it != c.entries.end()) return it->second;
+    if (c.failed.count({prog.hash(), cfg.compiler})) {
+      // Negative-cache hit: a build of this program already failed under
+      // this compiler.  Hand back an immediately-failed handle without
+      // spawning another doomed build.
+      auto dead = std::make_shared<NativeProgram>();
+      dead->state.store(NativeProgram::kFailed, std::memory_order_release);
+      c.entries.emplace(key, dead);
+      return dead;
+    }
   }
   auto native = std::make_shared<NativeProgram>();
   {

@@ -4,6 +4,9 @@
 // transformations (Sections 4.1-4.2).
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdlib>
+
 #include "distributed/dasklike.hpp"
 #include "distributed/dist_executor.hpp"
 #include "distributed/dist_kernels.hpp"
@@ -374,6 +377,409 @@ def f(x: dace.float64[N], out: dace.float64[N]):
     EXPECT_NEAR(shared.at("out").get_flat(i),
                 shared.at("x").get_flat(i) * 3.0 + 1.0, 1e-12);
   }
+}
+
+// ---------------------------------------------------------------------------
+// Chaos: seeded fault injection, timeouts, degradation, replay
+// (distributed/faults.hpp).  The whole suite runs under several seeds via
+// `ctest -L chaos` (DACE_FAULT_SEED), so assertions must hold for ANY
+// seed, not just the default.
+// ---------------------------------------------------------------------------
+
+uint64_t chaos_seed() {
+  if (const char* e = std::getenv("DACE_FAULT_SEED")) {
+    return std::strtoull(e, nullptr, 10);
+  }
+  return 42;
+}
+
+TEST(ChaosPlan, ParseRoundTrip) {
+  dist::FaultPlan p = dist::FaultPlan::parse(
+      "seed=9,drop=0.25,dup=0.1,reorder=0.05,delay=0.2,delay_s=0.001,"
+      "stall_rank=1,stall_at=3,stall_s=0.5,crash_rank=2,crash_at=7");
+  EXPECT_EQ(p.seed, 9u);
+  EXPECT_DOUBLE_EQ(p.drop_prob, 0.25);
+  EXPECT_DOUBLE_EQ(p.dup_prob, 0.1);
+  EXPECT_DOUBLE_EQ(p.reorder_prob, 0.05);
+  EXPECT_DOUBLE_EQ(p.delay_prob, 0.2);
+  EXPECT_DOUBLE_EQ(p.delay_s, 0.001);
+  EXPECT_EQ(p.stall_rank, 1);
+  EXPECT_EQ(p.stall_at_op, 3);
+  EXPECT_DOUBLE_EQ(p.stall_s, 0.5);
+  EXPECT_EQ(p.crash_rank, 2);
+  EXPECT_EQ(p.crash_at_op, 7);
+  EXPECT_TRUE(p.active());
+
+  dist::FaultPlan q = dist::FaultPlan::parse(p.to_string());
+  EXPECT_EQ(q.to_string(), p.to_string());
+
+  EXPECT_FALSE(dist::FaultPlan().active());
+  EXPECT_THROW(dist::FaultPlan::parse("drop"), Error);
+  EXPECT_THROW(dist::FaultPlan::parse("bogus=1"), Error);
+  EXPECT_THROW(dist::FaultPlan::parse("drop=x"), Error);
+}
+
+TEST(ChaosPlan, DecisionsAreDeterministicInSeed) {
+  dist::FaultPlan p;
+  p.seed = chaos_seed();
+  p.drop_prob = 0.3;
+  p.dup_prob = 0.2;
+  // Same coordinates, same verdict -- and across the channel the verdicts
+  // are not all identical (the draw actually depends on the coordinates).
+  bool saw_fault = false, saw_none = false;
+  for (uint64_t seq = 0; seq < 200; ++seq) {
+    dist::FaultKind a = p.decide_message(0, 1, 5, seq, 0);
+    dist::FaultKind b = p.decide_message(0, 1, 5, seq, 0);
+    EXPECT_EQ(a, b);
+    (a == dist::FaultKind::None ? saw_none : saw_fault) = true;
+  }
+  EXPECT_TRUE(saw_fault);
+  EXPECT_TRUE(saw_none);
+}
+
+TEST(ChaosDrop, JacobiRetriesStayBitIdentical) {
+  // ~1300 halo messages at 1% drop: retransmissions are all but certain
+  // for any seed, results must not change by a single bit, and the
+  // backoff must show up in the modeled time (the Fig. 12 penalty).
+  sym::SymbolMap sizes{{"N", 400}, {"TSTEPS", 160}};
+  const kernels::Kernel& k = kernels::kernel("jacobi_1d");
+
+  World clean(4);
+  Bindings clean_out;
+  dist::DistResult clean_res =
+      dist::run_dist_kernel("jacobi_1d", clean, sizes, dist::NodeModel(),
+                            &clean_out);
+  ASSERT_EQ(clean.total_retries(), 0);
+  ASSERT_TRUE(clean.fault_events().empty());
+
+  World chaos(4);
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.drop_prob = 0.01;
+  chaos.set_fault_plan(plan);
+  Bindings chaos_out;
+  dist::DistResult chaos_res =
+      dist::run_dist_kernel("jacobi_1d", chaos, sizes, dist::NodeModel(),
+                            &chaos_out);
+
+  EXPECT_GT(chaos.total_retries(), 0);
+  for (const auto& o : k.outputs) {
+    EXPECT_TRUE(rt::allclose(chaos_out.at(o), clean_out.at(o), 0, 0))
+        << "output '" << o << "' not bit-identical under drops";
+  }
+  EXPECT_GT(chaos_res.time_s, clean_res.time_s)
+      << "retry backoff must be charged to the virtual clock";
+  // Every retransmission stems from a recorded drop.
+  int64_t drops = 0;
+  for (const auto& e : chaos.fault_events()) {
+    if (e.kind == dist::FaultKind::Drop) ++drops;
+  }
+  EXPECT_GE(drops, chaos.total_retries());
+}
+
+TEST(ChaosDrop, GemmRingSurvivesDrops) {
+  const kernels::Kernel& k = kernels::kernel("gemm");
+  const sym::SymbolMap& sizes = k.presets.at("test");
+
+  World clean(4);
+  Bindings clean_out;
+  dist::run_dist_kernel("gemm", clean, sizes, dist::NodeModel(), &clean_out);
+
+  World chaos(4);
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.drop_prob = 0.05;
+  chaos.set_fault_plan(plan);
+  Bindings chaos_out;
+  dist::run_dist_kernel("gemm", chaos, sizes, dist::NodeModel(), &chaos_out);
+
+  for (const auto& o : k.outputs) {
+    EXPECT_TRUE(rt::allclose(chaos_out.at(o), clean_out.at(o), 0, 0))
+        << "output '" << o << "' not bit-identical under drops";
+  }
+}
+
+TEST(ChaosDupReorder, NoCorruptionOnStencil) {
+  // Duplicated, reordered and delayed halo messages must be absorbed by
+  // the sequence-numbered channels without corrupting the stencil.
+  const kernels::Kernel& k = kernels::kernel("jacobi_2d");
+  const sym::SymbolMap& sizes = k.presets.at("test");
+
+  World clean(4);
+  Bindings clean_out;
+  dist::run_dist_kernel("jacobi_2d", clean, sizes, dist::NodeModel(),
+                        &clean_out);
+
+  World chaos(4);
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.dup_prob = 0.2;
+  plan.reorder_prob = 0.2;
+  plan.delay_prob = 0.2;
+  chaos.set_fault_plan(plan);
+  Bindings chaos_out;
+  dist::run_dist_kernel("jacobi_2d", chaos, sizes, dist::NodeModel(),
+                        &chaos_out);
+
+  EXPECT_FALSE(chaos.fault_events().empty());
+  EXPECT_EQ(chaos.total_retries(), 0);  // nothing was dropped
+  for (const auto& o : k.outputs) {
+    EXPECT_TRUE(rt::allclose(chaos_out.at(o), clean_out.at(o), 0, 0))
+        << "output '" << o << "' corrupted by duplicate/reorder/delay";
+  }
+}
+
+TEST(ChaosStall, TimeoutNamesStalledPeer) {
+  // Rank 1 goes silent before its first send; rank 0's recv deadline
+  // turns the would-be hang into a CommTimeout naming rank, peer and tag.
+  World w(2);
+  dist::CommConfig cfg;
+  cfg.timeout_s = 0.05;
+  w.set_comm_config(cfg);
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.stall_rank = 1;
+  plan.stall_at_op = 0;
+  plan.stall_s = 0.5;
+  w.set_fault_plan(plan);
+
+  try {
+    w.run([](Comm& c) {
+      if (c.rank() == 0) {
+        double buf[4];
+        c.recv(buf, 4, 1, 3);
+      } else {
+        double data[4] = {1, 2, 3, 4};
+        c.send(data, 4, 0, 3);
+      }
+    });
+    FAIL() << "expected DistError";
+  } catch (const dist::DistError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("timed out"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("rank 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("peer 1"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tag 3"), std::string::npos) << msg;
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].rank, 0);
+  }
+  std::vector<int> failed = w.failed_ranks();
+  EXPECT_NE(std::find(failed.begin(), failed.end(), 0), failed.end());
+  // The stall itself is in the fault log.
+  bool stalled = false;
+  for (const auto& e : w.fault_events()) {
+    if (e.kind == dist::FaultKind::Stall && e.rank == 1) stalled = true;
+  }
+  EXPECT_TRUE(stalled);
+}
+
+TEST(ChaosCrash, TolerantAllreduceReformsOverSurvivors) {
+  // Rank 2 crashes before contributing; allreduce is algebraically
+  // tolerant, so the survivors' sum completes over {0, 1, 3}.
+  const int P = 4;
+  World w(P);
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.crash_rank = 2;
+  plan.crash_at_op = 0;
+  w.set_fault_plan(plan);
+
+  std::vector<double> sums(P, 0.0);
+  try {
+    w.run([&](Comm& c) {
+      double v = 1.0 + c.rank();
+      c.allreduce_sum(&v, 1);
+      sums[(size_t)c.rank()] = v;
+    });
+    FAIL() << "expected DistError";
+  } catch (const dist::DistError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("injected crash on rank 2"), std::string::npos) << msg;
+    ASSERT_EQ(e.failures().size(), 1u);
+    EXPECT_EQ(e.failures()[0].rank, 2);
+  }
+  EXPECT_EQ(w.failed_ranks(), std::vector<int>{2});
+  for (int r : {0, 1, 3}) {
+    EXPECT_DOUBLE_EQ(sums[(size_t)r], 1.0 + 2.0 + 4.0)
+        << "rank " << r << " did not re-form over the survivors";
+  }
+}
+
+TEST(ChaosCrash, IntolerantBcastFailsFast) {
+  // The bcast root crashes before publishing: the survivors cannot get
+  // complete data, so they must fail fast with a PeerFailed diagnosis
+  // instead of hanging or broadcasting garbage.
+  const int P = 4;
+  World w(P);
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.crash_rank = 0;
+  plan.crash_at_op = 0;
+  w.set_fault_plan(plan);
+
+  try {
+    w.run([](Comm& c) {
+      double buf[4] = {0, 0, 0, 0};
+      if (c.rank() == 0) {
+        for (int i = 0; i < 4; ++i) buf[i] = 10.0 + i;
+      }
+      c.bcast(buf, 4, 0);
+    });
+    FAIL() << "expected DistError";
+  } catch (const dist::DistError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("injected crash on rank 0"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("cannot complete"), std::string::npos) << msg;
+    EXPECT_EQ(e.failures().size(), (size_t)P)
+        << "all survivors must diagnose the dead root";
+  }
+}
+
+TEST(ChaosCrash, PointToPointDetectsDeadPeer) {
+  // A recv posted to a crashed rank reports PeerFailed instead of waiting
+  // out the full timeout.
+  World w(2);
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.crash_rank = 1;
+  plan.crash_at_op = 0;
+  w.set_fault_plan(plan);
+
+  try {
+    w.run([](Comm& c) {
+      if (c.rank() == 0) {
+        double buf[2];
+        c.recv(buf, 2, 1, 9);
+      } else {
+        double data[2] = {1, 2};
+        c.send(data, 2, 0, 9);
+      }
+    });
+    FAIL() << "expected DistError";
+  } catch (const dist::DistError& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("peer 1 has failed"), std::string::npos) << msg;
+    EXPECT_NE(msg.find("tag 9"), std::string::npos) << msg;
+  }
+}
+
+TEST(ChaosReplay, SameSeedSameFaults) {
+  // The whole point of the seeded plan: a chaos run is reproducible.
+  sym::SymbolMap sizes{{"N", 200}, {"TSTEPS", 40}};
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.drop_prob = 0.02;
+  plan.dup_prob = 0.05;
+
+  auto run_once = [&] {
+    World w(4);
+    w.set_fault_plan(plan);
+    dist::run_dist_kernel("jacobi_1d", w, sizes, dist::NodeModel(), nullptr);
+    std::vector<std::string> ev;
+    for (const auto& e : w.fault_events()) ev.push_back(e.to_string());
+    // Injection interleaving across rank threads is nondeterministic;
+    // the per-channel decisions are not.
+    std::sort(ev.begin(), ev.end());
+    return ev;
+  };
+  auto a = run_once();
+  auto b = run_once();
+  EXPECT_FALSE(a.empty());
+  EXPECT_EQ(a, b);
+}
+
+TEST(ChaosTrace, RecordsMessageSchedule) {
+  World w(2);
+  w.enable_trace("");  // in-memory
+  w.run([](Comm& c) {
+    if (c.rank() == 0) {
+      double d[3] = {1, 2, 3};
+      c.send(d, 3, 1, 7);
+    } else {
+      double b[3];
+      c.recv(b, 3, 0, 7);
+    }
+    c.barrier();
+  });
+  const auto& lines = w.trace_lines();
+  // Header + send + recv + one barrier line per rank.
+  ASSERT_EQ(lines.size(), 5u);
+  EXPECT_EQ(lines[0].rfind("# dacepp-comm-trace v1", 0), 0u) << lines[0];
+  EXPECT_NE(lines[0].find("nranks=2"), std::string::npos);
+  int sends = 0, recvs = 0, colls = 0;
+  std::string send_line;
+  for (size_t i = 1; i < lines.size(); ++i) {
+    if (lines[i].rfind("send ", 0) == 0) ++sends, send_line = lines[i];
+    if (lines[i].rfind("recv ", 0) == 0) ++recvs;
+    if (lines[i].rfind("coll ", 0) == 0) ++colls;
+  }
+  EXPECT_EQ(sends, 1);
+  EXPECT_EQ(recvs, 1);
+  EXPECT_EQ(colls, 2);
+  // send <rank> <peer> <tag> <count> <block> <stride>; Comm::send maps to
+  // one block of n contiguous elements.
+  EXPECT_EQ(send_line, "send 0 1 7 1 3 3") << send_line;
+}
+
+TEST(ChaosExecutor, LocalViewHaloSurvivesDropsAndReportsRetries) {
+  // The SDFG-level entry point plumbs the fault plan through to the
+  // explicit local-view halo exchange (real Isend/Waitall traffic) and
+  // surfaces retry/fault counts in its result (Fig. 12-style sweeps).
+  const int64_t n = 16, tsteps = 4;
+  const int P = 4;
+  auto sdfg = fe::compile_to_sdfg(kJacobiDistSrc, "j2d_dist");
+  dist::Grid2D grid = dist::Grid2D::square(P);
+  auto rank_syms = [&](int rank, int world_p) {
+    (void)world_p;
+    int px = grid.row_of(rank), py = grid.col_of(rank);
+    sym::SymbolMap s;
+    s["N"] = n;
+    s["TSTEPS"] = tsteps;
+    s["lNx"] = n / grid.Pr;
+    s["lNy"] = n / grid.Pc;
+    s["nn"] = px > 0 ? grid.rank_of(px - 1, py) : -1;
+    s["ns"] = px + 1 < grid.Pr ? grid.rank_of(px + 1, py) : -1;
+    s["nw"] = py > 0 ? grid.rank_of(px, py - 1) : -1;
+    s["ne"] = py + 1 < grid.Pc ? grid.rank_of(px, py + 1) : -1;
+    s["noff"] = px == 0 ? 1 : 0;
+    s["soff"] = px + 1 == grid.Pr ? 1 : 0;
+    s["woff"] = py == 0 ? 1 : 0;
+    s["eoff"] = py + 1 == grid.Pc ? 1 : 0;
+    return s;
+  };
+  auto make_inputs = [&] {
+    Bindings b;
+    b.emplace("A", Tensor(ir::DType::f64, {n, n}));
+    b.emplace("B", Tensor(ir::DType::f64, {n, n}));
+    kernels::fill_pattern(b.at("A"), 1);
+    kernels::fill_pattern(b.at("B"), 2);
+    return b;
+  };
+
+  Bindings clean_b = make_inputs();
+  World clean(P);
+  dist::DistRunResult clean_res =
+      dist::run_distributed_sdfg(clean, *sdfg, clean_b, rank_syms);
+  EXPECT_EQ(clean_res.retries, 0);
+  EXPECT_EQ(clean_res.faults, 0);
+
+  dist::FaultPlan plan;
+  plan.seed = chaos_seed();
+  plan.drop_prob = 0.15;
+  Bindings chaos_b = make_inputs();
+  World chaos(P);
+  dist::CommConfig cfg;
+  cfg.max_retries = 8;  // 15% loss per hop: keep permanent loss negligible
+  chaos.set_comm_config(cfg);
+  dist::DistRunResult chaos_res =
+      dist::run_distributed_sdfg(chaos, *sdfg, chaos_b, rank_syms,
+                                 dist::NodeModel(), &plan);
+
+  EXPECT_GT(chaos_res.faults, 0);
+  EXPECT_GT(chaos_res.retries, 0);
+  EXPECT_GT(chaos_res.time_s, clean_res.time_s);
+  EXPECT_TRUE(rt::allclose(chaos_b.at("A"), clean_b.at("A"), 0, 0));
+  EXPECT_TRUE(rt::allclose(chaos_b.at("B"), clean_b.at("B"), 0, 0));
 }
 
 }  // namespace

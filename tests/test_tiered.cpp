@@ -15,6 +15,7 @@
 #include "runtime/bytecode_opt.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/thread_pool.hpp"
+#include "runtime/tiering.hpp"
 #include "transforms/auto_optimize.hpp"
 
 namespace dace {
@@ -188,6 +189,36 @@ TEST(Tiering, MissingCompilerFallsBackToTier0) {
   for (const auto& out : k.outputs) {
     EXPECT_TRUE(rt::allclose(b.at(out), ref.at(out), 1e-9, 1e-11));
   }
+}
+
+TEST(Tiering, BrokenCompilerIsProbedOnce) {
+  // Once a build of a program fails, the failure is negative-cached on
+  // (program hash, compiler): other dtype specializations must come back
+  // immediately failed instead of probing the broken compiler again.
+  Program p;
+  p.n_iregs = 2;
+  p.n_fregs = 1;
+  p.arrays = {"out"};
+  p.code = {
+      Instr{.op = Op::IConst, .a = 0, .imm = 77443},  // unique hash
+      Instr{.op = Op::IConst, .a = 1, .imm = 0},
+      Instr{.op = Op::FFromI, .a = 0, .b = 0},
+      Instr{.op = Op::Store, .a = 0, .b = 1, .imm = 0},
+      Instr{.op = Op::Halt},
+  };
+  rt::TierConfig cfg;
+  cfg.compiler = "/nonexistent/compiler";
+  cfg.sync = true;
+  auto h1 = rt::request_native(p, {ir::DType::f64}, cfg);
+  ASSERT_EQ(h1->state.load(), rt::NativeProgram::kFailed);
+
+  // Async request for a different specialization: without the negative
+  // cache this would spawn another doomed build and report kCompiling.
+  cfg.sync = false;
+  auto h2 = rt::request_native(p, {ir::DType::f32}, cfg);
+  EXPECT_EQ(h2->state.load(), rt::NativeProgram::kFailed);
+  // And the handle is cached: asking again returns the same dead handle.
+  EXPECT_EQ(rt::request_native(p, {ir::DType::f32}, cfg).get(), h2.get());
 }
 
 // ---------------------------------------------------------------------------
