@@ -1,0 +1,190 @@
+#include "common/diag.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+namespace dace::diag {
+
+const char* severity_name(Severity s) {
+  switch (s) {
+    case Severity::Note: return "note";
+    case Severity::Warning: return "warning";
+    case Severity::Error: return "error";
+  }
+  return "error";
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string Diagnostic::format(const std::string& file) const {
+  std::ostringstream os;
+  if (!file.empty()) os << file << ":";
+  if (line > 0) {
+    os << line << ":";
+    if (col > 0) os << col << ":";
+    os << " ";
+  } else if (!file.empty()) {
+    os << " ";
+  }
+  os << severity_name(severity) << ": ";
+  if (!code.empty()) os << "[" << code << "] ";
+  os << message;
+  return os.str();
+}
+
+std::string Diagnostic::to_json() const {
+  std::ostringstream os;
+  os << "{\"code\": \"" << json_escape(code) << "\", \"severity\": \""
+     << severity_name(severity) << "\", \"line\": " << line
+     << ", \"col\": " << col << ", \"span\": " << span << ", \"message\": \""
+     << json_escape(message) << "\", \"notes\": [";
+  for (size_t i = 0; i < notes.size(); ++i) {
+    if (i) os << ", ";
+    os << "\"" << json_escape(notes[i]) << "\"";
+  }
+  os << "]}";
+  return os.str();
+}
+
+void DiagSink::set_source(std::string name, std::string text) {
+  source_name_ = std::move(name);
+  source_lines_.clear();
+  std::string line;
+  for (char c : text) {
+    if (c == '\n') {
+      source_lines_.push_back(line);
+      line.clear();
+    } else {
+      line += c;
+    }
+  }
+  source_lines_.push_back(line);
+  have_source_ = true;
+}
+
+Diagnostic& DiagSink::report(Diagnostic d) {
+  if (d.span < 1) d.span = 1;
+  diags_.push_back(std::move(d));
+  return diags_.back();
+}
+
+Diagnostic& DiagSink::error(std::string code, int line, int col,
+                            std::string message, int span) {
+  return report({std::move(code), Severity::Error, line, col, span,
+                 std::move(message), {}});
+}
+
+Diagnostic& DiagSink::warning(std::string code, int line, int col,
+                              std::string message, int span) {
+  return report({std::move(code), Severity::Warning, line, col, span,
+                 std::move(message), {}});
+}
+
+Diagnostic& DiagSink::note(std::string code, int line, int col,
+                           std::string message, int span) {
+  return report({std::move(code), Severity::Note, line, col, span,
+                 std::move(message), {}});
+}
+
+bool DiagSink::has_errors() const {
+  return std::any_of(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+    return d.severity == Severity::Error;
+  });
+}
+
+size_t DiagSink::error_count() const {
+  return static_cast<size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Error;
+      }));
+}
+
+std::string DiagSink::render() const {
+  std::ostringstream os;
+  for (const Diagnostic& d : diags_) {
+    os << d.format(source_name_) << "\n";
+    if (have_source_ && d.line >= 1 &&
+        d.line <= static_cast<int>(source_lines_.size())) {
+      const std::string& src = source_lines_[d.line - 1];
+      os << "    " << src << "\n";
+      if (d.col >= 1) {
+        // Reuse the line's own whitespace (tabs included) up to the column so
+        // the caret lands under the offending character in any terminal.
+        std::string pad = "    ";
+        for (int i = 0; i + 1 < d.col && i < static_cast<int>(src.size());
+             ++i) {
+          pad += (src[i] == '\t') ? '\t' : ' ';
+        }
+        os << pad;
+        int width = std::max(1, d.span);
+        for (int i = 0; i < width; ++i) os << '^';
+        os << "\n";
+      }
+    }
+    for (const std::string& note : d.notes) os << "    note: " << note << "\n";
+  }
+  size_t errors = error_count();
+  size_t warnings = diags_.size() - errors;
+  warnings -= static_cast<size_t>(
+      std::count_if(diags_.begin(), diags_.end(), [](const Diagnostic& d) {
+        return d.severity == Severity::Note;
+      }));
+  if (errors > 0) {
+    os << errors << " error" << (errors == 1 ? "" : "s");
+    if (warnings > 0)
+      os << ", " << warnings << " warning" << (warnings == 1 ? "" : "s");
+    os << " generated\n";
+  } else if (warnings > 0) {
+    os << warnings << " warning" << (warnings == 1 ? "" : "s")
+       << " generated\n";
+  }
+  return os.str();
+}
+
+std::string DiagSink::to_json() const {
+  std::ostringstream os;
+  os << "{\"source\": \"" << json_escape(source_name_)
+     << "\", \"errors\": " << error_count() << ", \"diagnostics\": [";
+  for (size_t i = 0; i < diags_.size(); ++i) {
+    if (i) os << ", ";
+    os << diags_[i].to_json();
+  }
+  os << "]}";
+  return os.str();
+}
+
+DiagError diag_error(const DiagSink& sink) {
+  Diagnostic first;
+  for (const Diagnostic& d : sink.diagnostics()) {
+    if (d.severity == Severity::Error) {
+      first = d;
+      break;
+    }
+  }
+  if (first.message.empty() && !sink.diagnostics().empty())
+    first = sink.diagnostics().front();
+  return DiagError(std::move(first), sink.render());
+}
+
+}  // namespace dace::diag

@@ -1,6 +1,6 @@
 #include "frontend/ast.hpp"
 
-#include "common/common.hpp"
+#include "common/diag.hpp"
 
 namespace dace::fe {
 
@@ -8,47 +8,54 @@ const Function& Module::function(const std::string& name) const {
   for (const auto& f : functions) {
     if (f.name == name) return f;
   }
-  throw err("module: no @dace.program named '", name, "'");
+  diag::Diagnostic d;
+  d.code = "E212";
+  d.message = "no @dace.program named '" + name + "' in module";
+  throw diag::DiagError(d, d.format());
 }
 
-ExprPtr make_num(double v, int line) {
+ExprPtr make_num(double v, int line, int col) {
   auto e = std::make_shared<ExprNode>();
   e->kind = ExKind::Num;
   e->num = v;
   e->line = line;
+  e->col = col;
   return e;
 }
 
-ExprPtr make_int(int64_t v, int line) {
-  auto e = make_num(static_cast<double>(v), line);
+ExprPtr make_int(int64_t v, int line, int col) {
+  auto e = make_num(static_cast<double>(v), line, col);
   e->num_is_int = true;
   e->inum = v;
   return e;
 }
 
-ExprPtr make_name(std::string n, int line) {
+ExprPtr make_name(std::string n, int line, int col) {
   auto e = std::make_shared<ExprNode>();
   e->kind = ExKind::Name;
   e->name = std::move(n);
   e->line = line;
+  e->col = col;
   return e;
 }
 
-ExprPtr make_binop(std::string op, ExprPtr a, ExprPtr b, int line) {
+ExprPtr make_binop(std::string op, ExprPtr a, ExprPtr b, int line, int col) {
   auto e = std::make_shared<ExprNode>();
   e->kind = ExKind::BinOp;
   e->name = std::move(op);
   e->args = {std::move(a), std::move(b)};
   e->line = line;
+  e->col = col;
   return e;
 }
 
-ExprPtr make_unop(std::string op, ExprPtr a, int line) {
+ExprPtr make_unop(std::string op, ExprPtr a, int line, int col) {
   auto e = std::make_shared<ExprNode>();
   e->kind = ExKind::UnOp;
   e->name = std::move(op);
   e->args = {std::move(a)};
   e->line = line;
+  e->col = col;
   return e;
 }
 

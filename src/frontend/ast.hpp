@@ -47,6 +47,7 @@ struct SliceItem {
 struct ExprNode {
   ExKind kind = ExKind::Num;
   int line = 0;
+  int col = 0;  // 1-based source column; 0 = unknown
 
   double num = 0;                // Num
   bool num_is_int = false;
@@ -64,6 +65,7 @@ enum class StKind { Assign, AugAssign, For, If, While, ExprStmt, Pass };
 struct StmtNode {
   StKind kind = StKind::Pass;
   int line = 0;
+  int col = 0;  // 1-based source column; 0 = unknown
 
   ExprPtr target;                // Assign/AugAssign LHS
   ExprPtr value;                 // Assign/AugAssign RHS, ExprStmt expression
@@ -97,11 +99,13 @@ struct Module {
   const Function& function(const std::string& name) const;
 };
 
-// Convenience constructors used by the parser and tests.
-ExprPtr make_num(double v, int line);
-ExprPtr make_int(int64_t v, int line);
-ExprPtr make_name(std::string n, int line);
-ExprPtr make_binop(std::string op, ExprPtr a, ExprPtr b, int line);
-ExprPtr make_unop(std::string op, ExprPtr a, int line);
+// Convenience constructors used by the parser and tests.  `col` is the
+// 1-based source column (0 = unknown) threaded into diagnostics.
+ExprPtr make_num(double v, int line, int col = 0);
+ExprPtr make_int(int64_t v, int line, int col = 0);
+ExprPtr make_name(std::string n, int line, int col = 0);
+ExprPtr make_binop(std::string op, ExprPtr a, ExprPtr b, int line,
+                   int col = 0);
+ExprPtr make_unop(std::string op, ExprPtr a, int line, int col = 0);
 
 }  // namespace dace::fe

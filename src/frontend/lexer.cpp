@@ -9,19 +9,24 @@ bool is_ident_start(char c) { return std::isalpha((unsigned char)c) || c == '_';
 bool is_ident(char c) { return std::isalnum((unsigned char)c) || c == '_'; }
 }  // namespace
 
-std::vector<Token> tokenize(const std::string& src) {
+std::vector<Token> tokenize(const std::string& src, diag::DiagSink& sink) {
   std::vector<Token> out;
   std::vector<int> indents{0};
   size_t i = 0;
   int line = 1;
+  size_t line_start = 0;  // offset of the first char of the current line
   int bracket_depth = 0;
   bool at_line_start = true;
 
+  auto cur_col = [&](size_t offset) {
+    return static_cast<int>(offset - line_start) + 1;
+  };
   auto push = [&](Tok k, std::string text = {}) {
     Token t;
     t.kind = k;
     t.text = std::move(text);
     t.line = line;
+    t.col = cur_col(i);
     out.push_back(std::move(t));
   };
 
@@ -38,12 +43,14 @@ std::vector<Token> tokenize(const std::string& src) {
       if (src[j] == '\n') {
         i = j + 1;
         ++line;
+        line_start = i;
         continue;
       }
       if (src[j] == '#') {
         while (j < src.size() && src[j] != '\n') ++j;
         i = (j < src.size()) ? j + 1 : j;
         ++line;
+        line_start = i;
         continue;
       }
       if (col > indents.back()) {
@@ -54,8 +61,19 @@ std::vector<Token> tokenize(const std::string& src) {
           indents.pop_back();
           push(Tok::Dedent);
         }
-        DACE_CHECK(col == indents.back(), "lex: inconsistent indentation at line ",
-                   line);
+        if (col != indents.back()) {
+          sink.error("E102", line, cur_col(j),
+                     "inconsistent indentation: " + std::to_string(col) +
+                         " columns does not match any enclosing block")
+              .notes.push_back(
+                  "indentation must return to a previously used level "
+                  "(tab counts as 8 columns)");
+          // Recover by opening a block at this level so the rest of the
+          // file still lexes with balanced Indent/Dedent.
+          indents.push_back(col);
+          push(Tok::Indent);
+          out.back().col = cur_col(j);
+        }
       }
       i = j;
       at_line_start = false;
@@ -68,8 +86,11 @@ std::vector<Token> tokenize(const std::string& src) {
       ++line;
       if (bracket_depth == 0) {
         push(Tok::Newline);
+        out.back().line = line - 1;  // Newline belongs to the line it ends
+        out.back().col = cur_col(i - 1);
         at_line_start = true;
       }
+      line_start = i;
       continue;
     }
     if (c == ' ' || c == '\t' || c == '\r') {
@@ -83,6 +104,7 @@ std::vector<Token> tokenize(const std::string& src) {
     if (c == '\\' && i + 1 < src.size() && src[i + 1] == '\n') {
       i += 2;
       ++line;
+      line_start = i;
       continue;
     }
     if (is_ident_start(c)) {
@@ -109,13 +131,22 @@ std::vector<Token> tokenize(const std::string& src) {
       Token t;
       t.kind = Tok::Number;
       t.line = line;
+      t.col = cur_col(i);
       t.text = text;
-      t.num = std::stod(text);
-      if (!is_float) {
-        t.num_is_int = true;
-        t.inum = std::stoll(text);
+      try {
+        size_t used = 0;
+        t.num = std::stod(text, &used);
+        if (used != text.size()) throw std::invalid_argument(text);
+        if (!is_float) {
+          t.num_is_int = true;
+          t.inum = std::stoll(text);
+        }
+        out.push_back(std::move(t));
+      } catch (const std::exception&) {
+        sink.error("E103", line, cur_col(i),
+                   "malformed numeric literal '" + text + "'",
+                   static_cast<int>(text.size()));
       }
-      out.push_back(std::move(t));
       i = j;
       continue;
     }
@@ -140,8 +171,9 @@ std::vector<Token> tokenize(const std::string& src) {
       ++i;
       continue;
     }
-    throw err("lex: unexpected character '", std::string(1, c), "' at line ",
-              line);
+    sink.error("E101", line, cur_col(i),
+               "unexpected character '" + std::string(1, c) + "'");
+    ++i;  // skip the offending character and keep lexing
   }
   if (!out.empty() && out.back().kind != Tok::Newline) push(Tok::Newline);
   while (indents.size() > 1) {
@@ -149,6 +181,14 @@ std::vector<Token> tokenize(const std::string& src) {
     push(Tok::Dedent);
   }
   push(Tok::EndOfFile);
+  return out;
+}
+
+std::vector<Token> tokenize(const std::string& src) {
+  diag::DiagSink sink;
+  sink.set_source("<input>", src);
+  std::vector<Token> out = tokenize(src, sink);
+  if (sink.has_errors()) throw Error(sink.render());
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "common/common.hpp"
+#include "common/diag.hpp"
 
 namespace dace::fe {
 
@@ -21,11 +22,19 @@ struct Token {
   bool num_is_int = false;
   int64_t inum = 0;
   int line = 0;
+  int col = 0;        // 1-based source column of the first character
 };
 
 /// Tokenize a DaCeLang source string.  Emits Newline at logical line ends
 /// and Indent/Dedent at block boundaries; blank lines and '#' comments are
 /// skipped; brackets suppress newlines (implicit line joining).
+/// Throws dace::Error (with caret-rendered message) on the first bad input.
 std::vector<Token> tokenize(const std::string& source);
+
+/// Recovering variant: lexical errors (unexpected character, inconsistent
+/// indentation, malformed numeric literal) are reported into `sink` and
+/// skipped, so one pass surfaces every lexical problem.  The returned token
+/// stream is always well-formed (balanced Indent/Dedent, trailing EOF).
+std::vector<Token> tokenize(const std::string& source, diag::DiagSink& sink);
 
 }  // namespace dace::fe

@@ -3,12 +3,21 @@
 #include <algorithm>
 #include <functional>
 
+#include "common/diag.hpp"
 #include "frontend/parser.hpp"
 #include "runtime/tensor_ops.hpp"
 
 namespace dace::fe {
 
 namespace {
+
+/// Source location carried through lowering helpers (1-based; 0 unknown).
+struct Loc {
+  int line = 0;
+  int col = 0;
+};
+Loc loc(const ExprPtr& e) { return {e->line, e->col}; }
+Loc loc(const StmtNode& s) { return {s.line, s.col}; }
 
 using ir::CodeExpr;
 using ir::CodeOp;
@@ -89,8 +98,9 @@ using KnownFunctions = std::map<std::string, KnownFunction>;
 
 class Lowerer {
  public:
-  Lowerer(const Function& f, const KnownFunctions* known)
-      : func_(f), known_(known) {}
+  Lowerer(const Function& f, const KnownFunctions* known,
+          diag::DiagSink* sink = nullptr)
+      : func_(f), known_(known), sink_(sink) {}
 
   std::unique_ptr<SDFG> run() {
     sdfg_ = std::make_unique<SDFG>(func_.name);
@@ -124,13 +134,40 @@ class Lowerer {
 
   const Function& func_;
   const KnownFunctions* known_ = nullptr;
+  diag::DiagSink* sink_ = nullptr;
   std::unique_ptr<SDFG> sdfg_;
   int last_state_ = -1;
   std::map<std::string, Var> vars_;
   int temp_counter_ = 0;
 
-  [[noreturn]] void fail(int line, const std::string& msg) {
-    throw err("lower: ", msg, " (", func_.name, ":", line, ")");
+  // Lowering stops at the first error per function (a half-lowered SDFG
+  // would be inconsistent); the diagnostic is recorded in the sink (when
+  // present) and thrown so compile_to_sdfg can recover per function.
+  [[noreturn]] void fail(const char* code, int line, int col,
+                         const std::string& msg) {
+    diag::Diagnostic d;
+    d.code = code;
+    d.line = line;
+    d.col = col;
+    d.message = msg;
+    d.notes.push_back("while lowering function '" + func_.name + "'");
+    if (sink_) sink_->report(d);
+    std::string rendered = "lower: " + msg + " (" + func_.name + ":" +
+                           std::to_string(line);
+    if (col > 0) rendered += ":" + std::to_string(col);
+    rendered += ") [" + std::string(code) + "]";
+    throw diag::DiagError(std::move(d), rendered);
+  }
+  [[noreturn]] void fail(const char* code, Loc at, const std::string& msg) {
+    fail(code, at.line, at.col, msg);
+  }
+  [[noreturn]] void fail(const char* code, const ExprPtr& e,
+                         const std::string& msg) {
+    fail(code, e->line, e->col, msg);
+  }
+  [[noreturn]] void fail(const char* code, const StmtNode& st,
+                         const std::string& msg) {
+    fail(code, st.line, st.col, msg);
   }
 
   // -- state machine helpers -------------------------------------------------
@@ -148,14 +185,14 @@ class Lowerer {
   Expr index_expr(const ExprPtr& e) {
     switch (e->kind) {
       case ExKind::Num:
-        if (!e->num_is_int) fail(e->line, "non-integer index");
+        if (!e->num_is_int) fail("E304", e, "non-integer index");
         return Expr(e->inum);
       case ExKind::Name: {
         auto it = vars_.find(e->name);
         if (it != vars_.end()) {
           if (it->second.k == Var::K::Symbol)
             return Expr::symbol(it->second.target);
-          fail(e->line, "index uses array '" + e->name + "'");
+          fail("E304", e, "index uses array '" + e->name + "'");
         }
         // Undeclared names in index expressions are free size symbols
         // (the implicit `dace.symbol` declaration of Section 2.2).
@@ -170,11 +207,11 @@ class Lowerer {
         if (e->name == "*") return a * b;
         if (e->name == "//") return sym::floordiv(a, b);
         if (e->name == "%") return sym::mod(a, b);
-        fail(e->line, "unsupported index operator '" + e->name + "'");
+        fail("E304", e, "unsupported index operator '" + e->name + "'");
       }
       case ExKind::UnOp:
         if (e->name == "-") return -index_expr(e->args[0]);
-        fail(e->line, "unsupported index operator");
+        fail("E304", e, "unsupported index operator");
       case ExKind::Call: {
         if (e->base && e->base->kind == ExKind::Name) {
           const std::string& fn = e->base->name;
@@ -183,10 +220,10 @@ class Lowerer {
           if (fn == "max" && e->args.size() == 2)
             return sym::max(index_expr(e->args[0]), index_expr(e->args[1]));
         }
-        fail(e->line, "unsupported call in index");
+        fail("E304", e, "unsupported call in index");
       }
       default:
-        fail(e->line, "unsupported index expression");
+        fail("E304", e, "unsupported index expression");
     }
   }
 
@@ -201,10 +238,10 @@ class Lowerer {
   Operand resolve_subscript(const ExprPtr& e) {
     DACE_CHECK(e->kind == ExKind::Subscript, "internal: not a subscript");
     if (e->base->kind != ExKind::Name)
-      fail(e->line, "subscript base must be a variable");
+      fail("E304", e, "subscript base must be a variable");
     auto it = vars_.find(e->base->name);
     if (it == vars_.end() || it->second.k != Var::K::Array)
-      fail(e->line, "subscript of unknown array '" + e->base->name + "'");
+      fail("E301", e, "subscript of unknown array '" + e->base->name + "'");
     const ir::DataDesc& d = sdfg_->array(it->second.target);
 
     Operand o;
@@ -236,7 +273,7 @@ class Lowerer {
       }
     }
     if (e->slices.size() > d.rank())
-      fail(e->line, "too many subscripts for '" + d.name + "'");
+      fail("E304", e, "too many subscripts for '" + d.name + "'");
     o.subset = Subset(std::move(ranges));
     return o;
   }
@@ -245,7 +282,7 @@ class Lowerer {
   /// Broadcast operand view shapes into a result shape; `align` maps each
   /// operand's view dims to result dims.
   std::vector<Expr> broadcast_operands(const std::vector<Operand>& ops,
-                                       int line) {
+                                       Loc at) {
     // Determine result rank: max over (align ? max align+1 : view rank).
     size_t rank = 0;
     for (const auto& o : ops) {
@@ -269,8 +306,8 @@ class Lowerer {
           shape[r] = dim;
           fixed[r] = true;
         } else if (!dims_equal(shape[r], dim)) {
-          fail(line, "broadcast mismatch: " + shape[r].to_string() + " vs " +
-                         dim.to_string());
+          fail("E303", at, "broadcast mismatch: " + shape[r].to_string() +
+                              " vs " + dim.to_string());
         }
       }
     }
@@ -316,22 +353,22 @@ class Lowerer {
   Operand build_elementwise(
       const std::string& label, const std::vector<Operand>& ins,
       const std::function<CodeExpr(const std::vector<CodeExpr>&)>& make_code,
-      int line, Operand out = {}, DType out_dtype = DType::f64) {
+      Loc at, Operand out = {}, DType out_dtype = DType::f64) {
     std::vector<Expr> result_shape;
     if (out.is_array()) {
       result_shape = out.view_shape;
       // Check input shapes broadcast into the target.
       std::vector<Operand> all = ins;
       all.push_back(out);
-      std::vector<Expr> b = broadcast_operands(all, line);
+      std::vector<Expr> b = broadcast_operands(all, at);
       if (b.size() != result_shape.size())
-        fail(line, "assignment shape rank mismatch");
+        fail("E303", at, "assignment shape rank mismatch");
       for (size_t i = 0; i < b.size(); ++i) {
         if (!dims_equal(b[i], result_shape[i]) && !dim_is_one(b[i]))
-          fail(line, "assignment shape mismatch");
+          fail("E303", at, "assignment shape mismatch");
       }
     } else {
-      result_shape = broadcast_operands(ins, line);
+      result_shape = broadcast_operands(ins, at);
       DType dt = out_dtype;
       if (dt == DType::f64) {
         bool any = false;
@@ -437,7 +474,7 @@ class Lowerer {
     return res;
   }
 
-  Operand ew_binary(CodeOp op, const Operand& a, const Operand& b, int line,
+  Operand ew_binary(CodeOp op, const Operand& a, const Operand& b, Loc at,
                     const std::string& label) {
     if (a.k == Operand::K::Const && b.k == Operand::K::Const) {
       std::map<std::string, double> none;
@@ -451,10 +488,10 @@ class Lowerer {
         [&](const std::vector<CodeExpr>& in) {
           return CodeExpr::binary(op, in[0], in[1]);
         },
-        line);
+        at);
   }
 
-  Operand ew_unary(CodeOp op, const Operand& a, int line,
+  Operand ew_unary(CodeOp op, const Operand& a, Loc at,
                    const std::string& label) {
     if (a.k == Operand::K::Const) {
       std::map<std::string, double> none;
@@ -466,11 +503,11 @@ class Lowerer {
         [&](const std::vector<CodeExpr>& in) {
           return CodeExpr::unary(op, in[0]);
         },
-        line);
+        at);
   }
 
   /// Copy (or broadcast-fill) `value` into the view `target`.
-  void copy_into(const Operand& target, const Operand& value, int line) {
+  void copy_into(const Operand& target, const Operand& value, Loc at) {
     DACE_CHECK(target.is_array(), "internal: copy target not array");
     build_elementwise(
         "assign", {value},
@@ -480,7 +517,7 @@ class Lowerer {
                                    : CodeExpr::constant(value.cval))
                             : in[0];
         },
-        line, target);
+        at, target);
   }
 
   // -- library nodes ------------------------------------------------------------
@@ -496,13 +533,13 @@ class Lowerer {
     return s;
   }
 
-  Operand matmul(const Operand& a, const Operand& b, int line) {
-    if (!a.is_array() || !b.is_array()) fail(line, "'@' requires arrays");
+  Operand matmul(const Operand& a, const Operand& b, Loc at) {
+    if (!a.is_array() || !b.is_array()) fail("E302", at, "'@' requires arrays");
     size_t ra = a.view_shape.size(), rb = b.view_shape.size();
     std::vector<Expr> oshape;
     if (ra == 2 && rb == 2) {
       if (!dims_equal(a.view_shape[1], b.view_shape[0]))
-        fail(line, "matmul inner dimension mismatch");
+        fail("E303", at, "matmul inner dimension mismatch");
       oshape = {a.view_shape[0], b.view_shape[1]};
     } else if (ra == 2 && rb == 1) {
       oshape = {a.view_shape[0]};
@@ -511,7 +548,7 @@ class Lowerer {
     } else if (ra == 1 && rb == 1) {
       oshape = {};
     } else {
-      fail(line, "unsupported matmul ranks");
+      fail("E303", at, "unsupported matmul ranks");
     }
     DType dt = rt::ops::promote(a.dtype, b.dtype);
     ir::DataDesc& td = sdfg_->add_temp("__mm", dt, oshape);
@@ -530,14 +567,14 @@ class Lowerer {
   }
 
   Operand reduce(const std::string& redop, const Operand& in,
-                 std::optional<int> axis, int line) {
-    if (!in.is_array()) fail(line, "reduction of non-array");
+                 std::optional<int> axis, Loc at) {
+    if (!in.is_array()) fail("E302", at, "reduction of non-array");
     std::vector<Expr> oshape;
     if (axis) {
       int ax = *axis;
       if (ax < 0) ax += (int)in.view_shape.size();
       if (ax < 0 || ax >= (int)in.view_shape.size())
-        fail(line, "bad reduction axis");
+        fail("E302", at, "bad reduction axis");
       for (int j = 0; j < (int)in.view_shape.size(); ++j) {
         if (j != ax) oshape.push_back(in.view_shape[j]);
       }
@@ -569,19 +606,19 @@ class Lowerer {
           return Operand::whole(sdfg_->array(it->second.target));
         }
         if (sdfg_->has_symbol(e->name)) return Operand::symbol(e->name);
-        fail(e->line, "unknown name '" + e->name + "'");
+        fail("E301", e, "unknown name '" + e->name + "'");
       }
       case ExKind::Subscript:
         return resolve_subscript(e);
       case ExKind::UnOp:
         if (e->name == "-")
-          return ew_unary(CodeOp::Neg, lower_expr(e->args[0]), e->line, "neg");
-        fail(e->line, "unsupported unary operator");
+          return ew_unary(CodeOp::Neg, lower_expr(e->args[0]), loc(e), "neg");
+        fail("E302", e, "unsupported unary operator");
       case ExKind::BinOp: {
         const std::string& op = e->name;
         if (op == "@")
           return matmul(lower_expr(e->args[0]), lower_expr(e->args[1]),
-                        e->line);
+                        loc(e));
         Operand a = lower_expr(e->args[0]);
         Operand b = lower_expr(e->args[1]);
         static const std::map<std::string, CodeOp> ops = {
@@ -593,19 +630,19 @@ class Lowerer {
         auto it = ops.find(op);
         if (it == ops.end()) {
           if (op == "//") {
-            Operand d = ew_binary(CodeOp::Div, a, b, e->line, "floordiv");
-            return ew_unary(CodeOp::Floor, d, e->line, "floor");
+            Operand d = ew_binary(CodeOp::Div, a, b, loc(e), "floordiv");
+            return ew_unary(CodeOp::Floor, d, loc(e), "floor");
           }
-          fail(e->line, "unsupported operator '" + op + "'");
+          fail("E302", e, "unsupported operator '" + op + "'");
         }
-        return ew_binary(it->second, a, b, e->line, "op_" + op_label(op));
+        return ew_binary(it->second, a, b, loc(e), "op_" + op_label(op));
       }
       case ExKind::Call:
         return lower_call(e);
       case ExKind::Tuple:
-        fail(e->line, "tuple expression not allowed here");
+        fail("E302", e, "tuple expression not allowed here");
     }
-    fail(e->line, "unsupported expression");
+    fail("E302", e, "unsupported expression");
   }
 
   static std::string op_label(const std::string& op) {
@@ -620,7 +657,7 @@ class Lowerer {
 
   Operand lower_call(const ExprPtr& e) {
     if (!e->base || e->base->kind != ExKind::Name)
-      fail(e->line, "unsupported call form");
+      fail("E305", e, "unsupported call form");
     const std::string& fn = e->base->name;
 
     static const std::map<std::string, CodeOp> unary = {
@@ -630,8 +667,8 @@ class Lowerer {
         {"np.tanh", CodeOp::Tanh}, {"np.floor", CodeOp::Floor},
         {"abs", CodeOp::Abs}};
     if (auto it = unary.find(fn); it != unary.end()) {
-      DACE_CHECK(e->args.size() == 1, "lower: ", fn, " takes one argument");
-      return ew_unary(it->second, lower_expr(e->args[0]), e->line,
+      if (e->args.size() != 1) fail("E305", e, fn + " takes one argument");
+      return ew_unary(it->second, lower_expr(e->args[0]), loc(e),
                       fn.substr(fn.find('.') + 1));
     }
     static const std::map<std::string, CodeOp> binary = {
@@ -641,36 +678,36 @@ class Lowerer {
         {"min", CodeOp::Min},
         {"max", CodeOp::Max}};
     if (auto it = binary.find(fn); it != binary.end()) {
-      DACE_CHECK(e->args.size() == 2, "lower: ", fn, " takes two arguments");
+      if (e->args.size() != 2) fail("E305", e, fn + " takes two arguments");
       return ew_binary(it->second, lower_expr(e->args[0]),
-                       lower_expr(e->args[1]), e->line,
+                       lower_expr(e->args[1]), loc(e),
                        fn.substr(fn.find('.') + 1));
     }
     if (fn == "np.sum" || fn == "np.max" || fn == "np.min") {
       std::optional<int> axis;
       for (const auto& [k, v] : e->kwargs) {
         if (k == "axis") {
-          DACE_CHECK(v->kind == ExKind::Num && v->num_is_int,
-                     "lower: axis must be an integer literal");
+          if (!(v->kind == ExKind::Num && v->num_is_int))
+            fail("E305", v, "axis must be an integer literal");
           axis = (int)v->inum;
         } else {
-          fail(e->line, "unsupported keyword '" + k + "'");
+          fail("E305", e, "unsupported keyword '" + k + "'");
         }
       }
       std::string op = fn == "np.sum" ? "sum" : (fn == "np.max" ? "max" : "min");
-      return reduce(op, lower_expr(e->args[0]), axis, e->line);
+      return reduce(op, lower_expr(e->args[0]), axis, loc(e));
     }
     if (fn == "np.dot") {
-      DACE_CHECK(e->args.size() == 2, "lower: np.dot takes two arguments");
-      return matmul(lower_expr(e->args[0]), lower_expr(e->args[1]), e->line);
+      if (e->args.size() != 2) fail("E305", e, "np.dot takes two arguments");
+      return matmul(lower_expr(e->args[0]), lower_expr(e->args[1]), loc(e));
     }
     if (fn == "np.outer") {
-      DACE_CHECK(e->args.size() == 2, "lower: np.outer takes two arguments");
+      if (e->args.size() != 2) fail("E305", e, "np.outer takes two arguments");
       Operand a = lower_expr(e->args[0]);
       Operand b = lower_expr(e->args[1]);
       if (!a.is_array() || a.view_shape.size() != 1 || !b.is_array() ||
           b.view_shape.size() != 1)
-        fail(e->line, "np.outer requires vectors");
+        fail("E305", e, "np.outer requires vectors");
       a.align = {0};
       b.align = {1};
       return build_elementwise(
@@ -678,28 +715,28 @@ class Lowerer {
           [](const std::vector<CodeExpr>& in) {
             return CodeExpr::binary(CodeOp::Mul, in[0], in[1]);
           },
-          e->line);
+          loc(e));
     }
     if (fn == "np.transpose") {
-      DACE_CHECK(e->args.size() == 1, "lower: np.transpose takes one array");
+      if (e->args.size() != 1) fail("E305", e, "np.transpose takes one array");
       Operand a = lower_expr(e->args[0]);
       if (!a.is_array() || a.view_shape.size() != 2)
-        fail(e->line, "np.transpose requires a 2-D array");
+        fail("E305", e, "np.transpose requires a 2-D array");
       a.align = {1, 0};  // view dim 0 -> result dim 1 and vice versa
       return build_elementwise(
           "transpose", {a},
-          [](const std::vector<CodeExpr>& in) { return in[0]; }, e->line);
+          [](const std::vector<CodeExpr>& in) { return in[0]; }, loc(e));
     }
     if (fn == "np.copy") {
       Operand a = lower_expr(e->args[0]);
       return build_elementwise(
           "copy", {a},
-          [](const std::vector<CodeExpr>& in) { return in[0]; }, e->line);
+          [](const std::vector<CodeExpr>& in) { return in[0]; }, loc(e));
     }
     if (fn == "np.float64" || fn == "np.float32" || fn == "float") {
       return lower_expr(e->args[0]);
     }
-    fail(e->line, "unsupported function '" + fn + "'");
+    fail("E305", e, "unsupported function '" + fn + "'");
   }
 
   // -- allocations --------------------------------------------------------------
@@ -720,7 +757,7 @@ class Lowerer {
           return sdfg_->array(it->second.target).dtype;
       }
     }
-    fail(e->line, "unsupported dtype annotation");
+    fail("E305", e, "unsupported dtype annotation");
   }
 
   bool is_allocation_call(const ExprPtr& e, std::string* which) {
@@ -742,7 +779,7 @@ class Lowerer {
     bool like = which.find("_like") != std::string::npos;
     if (like) {
       Operand src = lower_expr(e->args[0]);
-      if (!src.is_array()) fail(e->line, "alloc-like of non-array");
+      if (!src.is_array()) fail("E310", e, "alloc-like of non-array");
       shape = src.view_shape;
       dtype = src.dtype;
     } else {
@@ -771,12 +808,12 @@ class Lowerer {
       fill = 1;
     } else if (which == "np.full") {
       do_fill = true;
-      DACE_CHECK(e->args.size() >= 2 && e->args[1]->kind == ExKind::Num,
-                 "lower: np.full requires a literal fill value");
+      if (!(e->args.size() >= 2 && e->args[1]->kind == ExKind::Num))
+        fail("E310", e, "np.full requires a literal fill value");
       fill = e->args[1]->num;
     }
     if (do_fill) {
-      copy_into(Operand::whole(d), Operand::constant(fill), e->line);
+      copy_into(Operand::whole(d), Operand::constant(fill), loc(e));
     }
   }
 
@@ -825,14 +862,14 @@ class Lowerer {
         return;
       }
     }
-    fail(st.line, "expression statement has no effect");
+    fail("E302", st, "expression statement has no effect");
   }
 
   /// Call to another @dace.program: a Nested SDFG node (Table 1).
   void lower_function_call(const ExprPtr& e, const KnownFunction& callee) {
-    DACE_CHECK(e->args.size() == callee.params.size(),
-               "lower: call to '", e->base->name, "' expects ",
-               callee.params.size(), " arguments");
+    if (e->args.size() != callee.params.size())
+      fail("E305", e, "call to '" + e->base->name + "' expects " +
+                          std::to_string(callee.params.size()) + " arguments");
     State& st = new_state("call_" + e->base->name);
     int node = st.add_nested(callee.sdfg);
     auto* nn = st.node_as<ir::NestedSDFGNode>(node);
@@ -864,8 +901,8 @@ class Lowerer {
     int lib = st.add_library("comm::" + fn);
     auto* ln = st.node_as<ir::LibraryNode>(lib);
     if (fn == "Isend" || fn == "Irecv") {
-      DACE_CHECK(e->args.size() == 4, "lower: dace.comm.", fn,
-                 " takes (buf, rank, tag, request)");
+      if (e->args.size() != 4)
+        fail("E308", e, "dace.comm." + fn + " takes (buf, rank, tag, request)");
       Operand buf = lower_operand_view(e->args[0]);
       ln->sym_attrs["peer"] = index_expr(e->args[1]);
       ln->sym_attrs["tag"] = index_expr(e->args[2]);
@@ -884,7 +921,7 @@ class Lowerer {
       return;
     }
     if (fn == "Waitall") {
-      DACE_CHECK(e->args.size() == 1, "lower: Waitall takes (requests)");
+      if (e->args.size() != 1) fail("E308", e, "Waitall takes (requests)");
       Operand req = lower_operand_view(e->args[0]);
       int nr_in = st.add_access(req.container);
       int nr_out = st.add_access(req.container);
@@ -894,10 +931,10 @@ class Lowerer {
       return;
     }
     if (fn == "Barrier") {
-      DACE_CHECK(e->args.empty(), "lower: Barrier takes no arguments");
+      if (!e->args.empty()) fail("E308", e, "Barrier takes no arguments");
       return;  // library node alone; pure synchronization
     }
-    fail(e->line, "unsupported communication call 'dace.comm." + fn + "'");
+    fail("E308", e, "unsupported communication call 'dace.comm." + fn + "'");
   }
 
   /// Expression-form communication assigned to a target:
@@ -906,11 +943,11 @@ class Lowerer {
   ///   x = dace.comm.Allreduce(lx, 'sum')
   void lower_comm_assign(const Operand& target, const ExprPtr& e) {
     const std::string fn = e->base->name.substr(10);
-    DACE_CHECK(fn == "BlockScatter" || fn == "BlockGather" ||
-                   fn == "Allreduce" || fn == "Bcast",
-               "lower: unsupported communication expression 'dace.comm.", fn,
-               "'");
-    DACE_CHECK(!e->args.empty(), "lower: dace.comm.", fn, " needs an input");
+    if (!(fn == "BlockScatter" || fn == "BlockGather" ||
+          fn == "Allreduce" || fn == "Bcast"))
+      fail("E308", e,
+           "unsupported communication expression 'dace.comm." + fn + "'");
+    if (e->args.empty()) fail("E308", e, "dace.comm." + fn + " needs an input");
     Operand in = lower_operand_view(e->args[0]);
     State& st = new_state("comm_" + fn);
     int lib = st.add_library("comm::" + fn);
@@ -928,7 +965,7 @@ class Lowerer {
       if (it != vars_.end() && it->second.k == Var::K::Array)
         return Operand::whole(sdfg_->array(it->second.target));
     }
-    fail(e->line, "expected an array view argument");
+    fail("E305", e, "expected an array view argument");
   }
 
   static bool is_comm_call(const ExprPtr& e) {
@@ -957,7 +994,7 @@ class Lowerer {
       const std::string& name = st.target->name;
       auto it = vars_.find(name);
       if (it != vars_.end() && it->second.k == Var::K::Symbol)
-        fail(st.line, "cannot assign to loop symbol '" + name + "'");
+        fail("E306", st, "cannot assign to loop symbol '" + name + "'");
       Operand v = lower_expr(st.value);
       if (it == vars_.end()) {
         // New local variable.
@@ -973,7 +1010,7 @@ class Lowerer {
                                    : name,
                                v.dtype, v.view_shape, /*transient=*/true);
           vars_[name] = Var{Var::K::Array, d.name};
-          copy_into(Operand::whole(d), v, st.line);
+          copy_into(Operand::whole(d), v, loc(st));
           return;
         }
         // Scalar local.
@@ -981,27 +1018,27 @@ class Lowerer {
             sdfg_->has_array(name) ? sdfg_->unique_name(name) : name,
             DType::f64, /*transient=*/true);
         vars_[name] = Var{Var::K::Array, d.name};
-        copy_into(Operand::whole(d), v, st.line);
+        copy_into(Operand::whole(d), v, loc(st));
         return;
       }
       // Existing array: copy into it.
-      copy_into(Operand::whole(sdfg_->array(it->second.target)), v, st.line);
+      copy_into(Operand::whole(sdfg_->array(it->second.target)), v, loc(st));
       return;
     }
     if (st.target->kind == ExKind::Subscript) {
       Operand t = resolve_subscript(st.target);
       Operand v = lower_expr(st.value);
-      copy_into(t, v, st.line);
+      copy_into(t, v, loc(st));
       return;
     }
-    fail(st.line, "unsupported assignment target");
+    fail("E306", st, "unsupported assignment target");
   }
 
   void lower_augassign(const StmtNode& st) {
     Operand t = st.target->kind == ExKind::Subscript
                     ? resolve_subscript(st.target)
                     : lower_expr(st.target);
-    if (!t.is_array()) fail(st.line, "augmented assignment to non-array");
+    if (!t.is_array()) fail("E306", st, "augmented assignment to non-array");
     Operand v = lower_expr(st.value);
     static const std::map<std::string, CodeOp> ops = {{"+", CodeOp::Add},
                                                       {"-", CodeOp::Sub},
@@ -1013,7 +1050,7 @@ class Lowerer {
         [&](const std::vector<CodeExpr>& in) {
           return CodeExpr::binary(op, in[0], in[1]);
         },
-        st.line, t);
+        loc(st), t);
   }
 
   // Range loop -> guard/body states with condition and increment on
@@ -1025,13 +1062,12 @@ class Lowerer {
       lower_map_for(st);
       return;
     }
-    DACE_CHECK(st.iter->kind == ExKind::Call && st.iter->base &&
-                   st.iter->base->kind == ExKind::Name &&
-                   st.iter->base->name == "range",
-               "lower: for-loop iterator must be range(...) or dace.map "
-               "(line ", st.line, ")");
-    DACE_CHECK(st.loop_vars.size() == 1,
-               "lower: range loop takes one variable (line ", st.line, ")");
+    if (!(st.iter->kind == ExKind::Call && st.iter->base &&
+          st.iter->base->kind == ExKind::Name &&
+          st.iter->base->name == "range"))
+      fail("E309", st, "for-loop iterator must be range(...) or dace.map");
+    if (st.loop_vars.size() != 1)
+      fail("E309", st, "range loop takes one variable");
     const std::string& var = st.loop_vars[0];
     Expr begin(0), end(0), step(1);
     const auto& args = st.iter->args;
@@ -1087,7 +1123,7 @@ class Lowerer {
         if (it != vars_.end() && it->second.k == Var::K::Symbol)
           return CodeExpr::symbol(it->second.target);
         if (sdfg_->has_symbol(e->name)) return CodeExpr::symbol(e->name);
-        fail(e->line,
+        fail("E309", e,
              "conditions may only reference symbols, not '" + e->name + "'");
       }
       case ExKind::BinOp: {
@@ -1098,7 +1134,7 @@ class Lowerer {
             {"==", CodeOp::Eq}, {"!=", CodeOp::Ne}, {"and", CodeOp::And},
             {"or", CodeOp::Or}};
         auto it = ops.find(e->name);
-        if (it == ops.end()) fail(e->line, "unsupported condition operator");
+        if (it == ops.end()) fail("E309", e, "unsupported condition operator");
         return CodeExpr::binary(it->second, cond_code(e->args[0]),
                                 cond_code(e->args[1]));
       }
@@ -1107,9 +1143,9 @@ class Lowerer {
           return CodeExpr::unary(CodeOp::Neg, cond_code(e->args[0]));
         if (e->name == "not")
           return CodeExpr::unary(CodeOp::Not, cond_code(e->args[0]));
-        fail(e->line, "unsupported condition operator");
+        fail("E309", e, "unsupported condition operator");
       default:
-        fail(e->line, "unsupported condition expression");
+        fail("E309", e, "unsupported condition expression");
     }
   }
 
@@ -1185,17 +1221,15 @@ class Lowerer {
   void lower_map_for(const StmtNode& st) {
     std::vector<Range> ranges;
     for (const auto& s : st.iter->slices) {
-      DACE_CHECK(!s.is_index, "lower: dace.map requires ranges (line ",
-                 st.line, ")");
+      if (s.is_index) fail("E307", st, "dace.map requires ranges");
       Expr b = s.begin ? index_expr(s.begin) : Expr(0);
-      DACE_CHECK(s.end != nullptr, "lower: dace.map range needs an end");
+      if (s.end == nullptr) fail("E307", st, "dace.map range needs an end");
       Expr e = index_expr(s.end);
       Expr stp = s.step ? index_expr(s.step) : Expr(1);
       ranges.emplace_back(b, e, stp);
     }
-    DACE_CHECK(ranges.size() == st.loop_vars.size(),
-               "lower: dace.map rank does not match loop variables (line ",
-               st.line, ")");
+    if (ranges.size() != st.loop_vars.size())
+      fail("E307", st, "dace.map rank does not match loop variables");
 
     MapBody mb;
     mb.st = &new_state("map");
@@ -1217,8 +1251,8 @@ class Lowerer {
     for (const auto& s : st.body) lower_map_stmt(mb, *s);
 
     // If the map produced no outputs at all, that is an error.
-    DACE_CHECK(!mb.exit_conns.empty() || !mb.local_scalars.empty(),
-               "lower: dace.map body has no effect (line ", st.line, ")");
+    if (mb.exit_conns.empty() && mb.local_scalars.empty())
+      fail("E307", st, "dace.map body has no effect");
     // Entry with no inputs still needs to dominate tasklets; ensured by
     // construction (every tasklet has an ordering edge from entry if it
     // had no data inputs).
@@ -1274,7 +1308,7 @@ class Lowerer {
       case StKind::AugAssign:
         break;
       default:
-        fail(st.line,
+        fail("E307", st,
              "only assignments are supported inside dace.map bodies; use "
              "numpythonic style for complex bodies");
     }
@@ -1301,20 +1335,20 @@ class Lowerer {
     if (st.target->kind == ExKind::Subscript) {
       Operand t = resolve_subscript(st.target);
       if (!t.view_shape.empty())
-        fail(st.line, "map-body writes must target single elements");
+        fail("E307", st, "map-body writes must target single elements");
       container = t.container;
       element = t.subset;
     } else if (st.target->kind == ExKind::Name) {
       auto it = vars_.find(st.target->name);
       if (it == vars_.end() || it->second.k != Var::K::Array)
-        fail(st.line, "unknown map-body target");
+        fail("E301", st, "unknown map-body target");
       const auto& d = sdfg_->array(it->second.target);
       if (!d.is_scalar())
-        fail(st.line, "map-body writes to arrays must be indexed");
+        fail("E307", st, "map-body writes to arrays must be indexed");
       container = d.name;
       element = Subset{};
     } else {
-      fail(st.line, "unsupported map-body target");
+      fail("E307", st, "unsupported map-body target");
     }
 
     WCR wcr = WCR::None;
@@ -1339,7 +1373,7 @@ class Lowerer {
             {"+", WCR::Sum}, {"*", WCR::Prod}};
         auto it = wcrs.find(st.aug_op);
         if (it == wcrs.end())
-          fail(st.line, "unsupported write-conflict resolution op");
+          fail("E307", st, "unsupported write-conflict resolution op");
         wcr = it->second;
       }
     }
@@ -1455,19 +1489,19 @@ class Lowerer {
             return CodeExpr::symbol(it->second.target);
           const auto& d = sdfg_->array(it->second.target);
           if (!d.is_scalar())
-            fail(line, "arrays inside map bodies must be indexed: '" +
-                           e->name + "'");
+            fail("E307", e, "arrays inside map bodies must be indexed: '" +
+                                e->name + "'");
           std::string conn = "__c" + std::to_string(inputs.size());
           inputs.push_back(InputRef{conn, d.name, Subset{}, -1});
           return CodeExpr::input(conn);
         }
         if (sdfg_->has_symbol(e->name)) return CodeExpr::symbol(e->name);
-        fail(line, "unknown name '" + e->name + "' in map body");
+        fail("E301", e, "unknown name '" + e->name + "' in map body");
       }
       case ExKind::Subscript: {
         Operand t = resolve_subscript(e);
         if (!t.view_shape.empty())
-          fail(line, "map-body reads must be single elements");
+          fail("E307", e, "map-body reads must be single elements");
         std::string conn = "__r" + std::to_string(inputs.size());
         inputs.push_back(InputRef{conn, t.container, t.subset, -1});
         return CodeExpr::input(conn);
@@ -1481,7 +1515,7 @@ class Lowerer {
             {"and", CodeOp::And}, {"or", CodeOp::Or}};
         auto it = ops.find(e->name);
         if (it == ops.end())
-          fail(line, "unsupported operator in map body: '" + e->name + "'");
+          fail("E302", e, "unsupported operator in map body: '" + e->name + "'");
         CodeExpr a = map_code(mb, e->args[0], inputs, line);
         CodeExpr b = map_code(mb, e->args[1], inputs, line);
         return CodeExpr::binary(it->second, a, b);
@@ -1490,11 +1524,11 @@ class Lowerer {
         CodeExpr a = map_code(mb, e->args[0], inputs, line);
         if (e->name == "-") return CodeExpr::unary(CodeOp::Neg, a);
         if (e->name == "not") return CodeExpr::unary(CodeOp::Not, a);
-        fail(line, "unsupported unary operator in map body");
+        fail("E302", e, "unsupported unary operator in map body");
       }
       case ExKind::Call: {
         if (!e->base || e->base->kind != ExKind::Name)
-          fail(line, "unsupported call in map body");
+          fail("E305", e, "unsupported call in map body");
         static const std::map<std::string, CodeOp> unary = {
             {"np.exp", CodeOp::Exp},   {"np.sqrt", CodeOp::Sqrt},
             {"np.log", CodeOp::Log},   {"np.abs", CodeOp::Abs},
@@ -1514,10 +1548,10 @@ class Lowerer {
           return CodeExpr::binary(it->second,
                                   map_code(mb, e->args[0], inputs, line),
                                   map_code(mb, e->args[1], inputs, line));
-        fail(line, "unsupported function in map body: '" + fn + "'");
+        fail("E305", e, "unsupported function in map body: '" + fn + "'");
       }
       default:
-        fail(line, "unsupported expression in map body");
+        fail("E302", e, "unsupported expression in map body");
     }
   }
 };
@@ -1528,17 +1562,46 @@ std::unique_ptr<ir::SDFG> lower_to_sdfg(const Function& f) {
   return Lowerer(f, nullptr).run();
 }
 
+std::unique_ptr<ir::SDFG> lower_to_sdfg(const Function& f,
+                                        diag::DiagSink& sink) {
+  try {
+    return Lowerer(f, nullptr, &sink).run();
+  } catch (const diag::DiagError&) {
+    return nullptr;  // already recorded in the sink
+  } catch (const Error& e) {
+    sink.error("E300", 0, 0,
+               std::string("internal lowering error: ") + e.what());
+    return nullptr;
+  }
+}
+
 std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
+                                          diag::DiagSink& sink,
                                           const std::string& name) {
-  Module m = parse(source);
-  DACE_CHECK(!m.functions.empty(), "compile: no functions in module");
+  Module m = parse(source, sink);
+  if (m.functions.empty()) {
+    if (!sink.has_errors())
+      sink.error("E212", 0, 0, "no functions in module");
+    return nullptr;
+  }
   // Lower every function in order; earlier functions are callable from
-  // later ones (calls become nested SDFGs).
+  // later ones (calls become nested SDFGs).  A function that fails to
+  // lower is skipped (its diagnostics stay in the sink) so the rest of
+  // the module is still checked.
   KnownFunctions known;
   std::unique_ptr<ir::SDFG> result;
   const std::string want = name.empty() ? m.functions.back().name : name;
   for (const auto& f : m.functions) {
-    auto sdfg = Lowerer(f, &known).run();
+    std::unique_ptr<ir::SDFG> sdfg;
+    try {
+      sdfg = Lowerer(f, &known, &sink).run();
+    } catch (const diag::DiagError&) {
+      continue;  // recorded in the sink; keep checking later functions
+    } catch (const Error& e) {
+      sink.error("E300", 0, 0,
+                 std::string("internal lowering error: ") + e.what());
+      continue;
+    }
     if (f.name == want) {
       result = std::move(sdfg);
       // Register a shared clone so later functions can still call it.
@@ -1549,7 +1612,17 @@ std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
           KnownFunction{std::shared_ptr<ir::SDFG>(std::move(sdfg)), f.params};
     }
   }
-  DACE_CHECK(result != nullptr, "compile: no function named '", want, "'");
+  if (!result && !sink.has_errors())
+    sink.error("E212", 0, 0, "no function named '" + want + "'");
+  return result;
+}
+
+std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
+                                          const std::string& name) {
+  diag::DiagSink sink;
+  sink.set_source("<input>", source);
+  auto result = compile_to_sdfg(source, sink, name);
+  if (!result || sink.has_errors()) throw diag_error(sink);
   return result;
 }
 

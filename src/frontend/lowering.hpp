@@ -6,21 +6,40 @@
 // interstate edges, and WCR memlets where augmented assignments race.
 // The dataflow-coarsening pass (transforms/simplify.hpp) then exposes the
 // data-centric view.
+//
+// Lowering errors are structured diagnostics (common/diag.hpp): the
+// throwing entry points raise dace::Error subclass diag::DiagError with
+// code + line:col; the sink-based overloads record into a DiagSink and
+// return nullptr instead, so a driver can report every failing function
+// in one run.
 #pragma once
 
 #include <memory>
 
+#include "common/diag.hpp"
 #include "frontend/ast.hpp"
 #include "ir/sdfg.hpp"
 
 namespace dace::fe {
 
-/// Lower one parsed function to an SDFG.
+/// Lower one parsed function to an SDFG.  Throws diag::DiagError.
 std::unique_ptr<ir::SDFG> lower_to_sdfg(const Function& f);
 
+/// Recovering variant: on error, records into `sink` and returns nullptr.
+std::unique_ptr<ir::SDFG> lower_to_sdfg(const Function& f,
+                                        diag::DiagSink& sink);
+
 /// Convenience: parse `source` and lower the function named `name`
-/// (or the first function if empty).
+/// (or the last function if empty).  Throws dace::Error carrying the full
+/// caret-rendered report of every diagnostic found.
 std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
+                                          const std::string& name = "");
+
+/// Recovering variant: parses with recovery and lowers every function,
+/// collecting all diagnostics into `sink`; returns nullptr if the
+/// requested function could not be produced.
+std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
+                                          diag::DiagSink& sink,
                                           const std::string& name = "");
 
 }  // namespace dace::fe

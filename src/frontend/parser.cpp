@@ -8,15 +8,36 @@ namespace dace::fe {
 
 namespace {
 
+/// Thrown internally to unwind to the nearest recovery point (statement or
+/// top-level function).  The diagnostic has already been recorded in the
+/// sink by the time this propagates.
+struct ParseAbort {};
+
+constexpr size_t kMaxErrors = 64;
+
 class Parser {
  public:
-  explicit Parser(std::vector<Token> toks) : toks_(std::move(toks)) {}
+  Parser(std::vector<Token> toks, diag::DiagSink& sink)
+      : toks_(std::move(toks)), sink_(sink) {}
 
   Module parse_module() {
     Module m;
     skip_newlines();
     while (!at(Tok::EndOfFile)) {
-      m.functions.push_back(parse_decorated_function());
+      if (sink_.error_count() >= kMaxErrors) {
+        sink_.error("E200", cur().line, cur().col,
+                    "too many errors; giving up");
+        break;
+      }
+      size_t start = pos_;
+      try {
+        m.functions.push_back(parse_decorated_function());
+      } catch (const ParseAbort&) {
+        // Panic-mode recovery: resynchronize at the next top-level
+        // function (a 'def' or decorator at indentation depth 0).
+        if (pos_ == start) advance();
+        sync_toplevel();
+      }
       skip_newlines();
     }
     return m;
@@ -40,24 +61,89 @@ class Parser {
   bool at_name(const std::string& text) const {
     return cur().kind == Tok::Name && cur().text == text;
   }
-  Token advance() { return toks_[pos_++]; }
+  Token advance() {
+    Token t = toks_[pos_];
+    if (pos_ + 1 < toks_.size()) ++pos_;
+    return t;
+  }
+
+  /// Describe the current token for an error message.
+  std::string describe_cur() const {
+    switch (cur().kind) {
+      case Tok::Newline: return "end of line";
+      case Tok::Indent: return "indented block";
+      case Tok::Dedent: return "end of block";
+      case Tok::EndOfFile: return "end of input";
+      default: return "'" + cur().text + "'";
+    }
+  }
+  int cur_span() const {
+    return std::max<int>(1, static_cast<int>(cur().text.size()));
+  }
+
+  /// Record a diagnostic at the current token and unwind to recovery.
+  [[noreturn]] void abort_here(const std::string& code,
+                               const std::string& msg) {
+    sink_.error(code, cur().line, cur().col, msg, cur_span());
+    throw ParseAbort{};
+  }
+
   Token expect(Tok k, const std::string& what) {
-    DACE_CHECK(at(k), "parse: expected ", what, " at line ", cur().line,
-               ", got '", cur().text, "'");
+    if (!at(k))
+      abort_here("E201", "expected " + what + ", got " + describe_cur());
     return advance();
   }
   void expect_op(const std::string& text) {
-    DACE_CHECK(at_op(text), "parse: expected '", text, "' at line ",
-               cur().line, ", got '", cur().text, "'");
+    if (!at_op(text))
+      abort_here("E201", "expected '" + text + "', got " + describe_cur());
     advance();
   }
   void expect_name(const std::string& text) {
-    DACE_CHECK(at_name(text), "parse: expected '", text, "' at line ",
-               cur().line, ", got '", cur().text, "'");
+    if (!at_name(text))
+      abort_here("E201", "expected '" + text + "', got " + describe_cur());
     advance();
   }
   void skip_newlines() {
     while (at(Tok::Newline)) advance();
+  }
+
+  /// Skip to the start of the next statement: consume through the Newline
+  /// that ends the damaged logical line, ignoring any nested blocks opened
+  /// meanwhile.  Stops (without consuming) at a Dedent closing the current
+  /// block, so block parsing can terminate normally.
+  void sync_statement() {
+    int depth = 0;
+    for (;;) {
+      if (at(Tok::EndOfFile)) return;
+      if (at(Tok::Indent)) {
+        ++depth;
+        advance();
+        continue;
+      }
+      if (at(Tok::Dedent)) {
+        if (depth == 0) return;  // leave for the enclosing block to consume
+        --depth;
+        advance();
+        continue;
+      }
+      if (at(Tok::Newline) && depth == 0) {
+        advance();
+        return;
+      }
+      advance();
+    }
+  }
+
+  /// Skip to the next top-level 'def' or '@' decorator (depth 0).
+  void sync_toplevel() {
+    int depth = 0;
+    for (;;) {
+      if (at(Tok::EndOfFile)) return;
+      if (at(Tok::Indent)) { ++depth; advance(); continue; }
+      if (at(Tok::Dedent)) { if (depth > 0) --depth; advance(); continue; }
+      if (depth == 0 && (at_name("def") || at_op("@"))) return;
+      advance();
+    }
   }
 
   // -- functions ---------------------------------------------------------------
@@ -67,19 +153,26 @@ class Parser {
     // Optional decorator: @dace.program or @dace.program(kwargs)
     if (at_op("@")) {
       advance();
+      Token dec_tok = cur();
       std::string dec = parse_dotted_name();
-      DACE_CHECK(dec == "dace.program",
-                 "parse: unsupported decorator '@", dec, "' at line ",
-                 cur().line);
+      if (dec != "dace.program") {
+        sink_.error("E203", dec_tok.line, dec_tok.col,
+                    "unsupported decorator '@" + dec +
+                        "'; only @dace.program is recognized",
+                    static_cast<int>(dec.size()));
+        throw ParseAbort{};
+      }
       if (at_op("(")) {
         advance();
         while (!at_op(")")) {
-          std::string key = expect(Tok::Name, "keyword").text;
+          Token key_tok = cur();
+          std::string key = expect(Tok::Name, "decorator keyword").text;
           expect_op("=");
           if (key == "auto_optimize") {
             std::string v = expect(Tok::Name, "True/False").text;
             auto_opt = (v == "True");
           } else if (key == "device") {
+            Token dev_tok = cur();
             std::string v = parse_dotted_name();
             if (v == "DeviceType.CPU" || v == "dace.DeviceType.CPU") {
               device = ir::DeviceType::CPU;
@@ -88,10 +181,20 @@ class Parser {
             } else if (v == "DeviceType.FPGA" || v == "dace.DeviceType.FPGA") {
               device = ir::DeviceType::FPGA;
             } else {
-              throw err("parse: unknown device '", v, "' at line ", cur().line);
+              sink_.error("E205", dev_tok.line, dev_tok.col,
+                          "unknown device '" + v + "'",
+                          static_cast<int>(v.size()))
+                  .notes.push_back(
+                      "expected DeviceType.CPU, DeviceType.GPU or "
+                      "DeviceType.FPGA");
+              throw ParseAbort{};
             }
           } else {
-            throw err("parse: unknown decorator keyword '", key, "'");
+            sink_.error("E204", key_tok.line, key_tok.col,
+                        "unknown decorator keyword '" + key + "'",
+                        static_cast<int>(key.size()))
+                .notes.push_back("supported: auto_optimize, device");
+            throw ParseAbort{};
           }
           if (at_op(",")) advance();
         }
@@ -107,6 +210,9 @@ class Parser {
     f.name = expect(Tok::Name, "function name").text;
     expect_op("(");
     while (!at_op(")")) {
+      if (at(Tok::Newline) || at(Tok::EndOfFile))
+        abort_here("E201", "expected ')' to close parameter list, got " +
+                               describe_cur());
       Param p;
       p.name = expect(Tok::Name, "parameter name").text;
       expect_op(":");
@@ -122,6 +228,7 @@ class Parser {
   }
 
   void parse_type_annotation(Param& p) {
+    Token t0 = cur();
     std::string t = parse_dotted_name();
     if (t == "dace.float64") {
       p.dtype = ir::DType::f64;
@@ -132,12 +239,21 @@ class Parser {
     } else if (t == "dace.int32") {
       p.dtype = ir::DType::i32;
     } else {
-      throw err("parse: unknown type annotation '", t, "' at line ",
-                cur().line);
+      // Recoverable: report, assume float64, and keep parsing the
+      // remaining parameters so one run surfaces every bad annotation.
+      sink_.error("E206", t0.line, t0.col,
+                  "unknown type annotation '" + t + "'",
+                  static_cast<int>(t.size()))
+          .notes.push_back(
+              "supported: dace.float64, dace.float32, dace.int64, "
+              "dace.int32 (optionally with a [shape])");
+      p.dtype = ir::DType::f64;
     }
     if (at_op("[")) {
       advance();
       while (!at_op("]")) {
+        if (at(Tok::Newline) || at(Tok::EndOfFile))
+          abort_here("E210", "unterminated shape annotation; expected ']'");
         ExprPtr dim = parse_expr();
         p.shape.push_back(expr_to_symbolic(dim));
         if (at_op(",")) advance();
@@ -150,7 +266,10 @@ class Parser {
   sym::Expr expr_to_symbolic(const ExprPtr& e) {
     switch (e->kind) {
       case ExKind::Num:
-        DACE_CHECK(e->num_is_int, "parse: non-integer shape at line ", e->line);
+        if (!e->num_is_int) {
+          sink_.error("E209", e->line, e->col, "non-integer shape dimension");
+          throw ParseAbort{};
+        }
         return sym::Expr(e->inum);
       case ExKind::Name:
         return sym::Expr::symbol(e->name);
@@ -162,13 +281,18 @@ class Parser {
         if (e->name == "*") return a * b;
         if (e->name == "//") return sym::floordiv(a, b);
         if (e->name == "%") return sym::mod(a, b);
-        throw err("parse: unsupported shape operator '", e->name, "'");
+        sink_.error("E209", e->line, e->col,
+                    "unsupported shape operator '" + e->name + "'");
+        throw ParseAbort{};
       }
       case ExKind::UnOp:
         if (e->name == "-") return -expr_to_symbolic(e->args[0]);
-        throw err("parse: unsupported shape operator");
+        sink_.error("E209", e->line, e->col, "unsupported shape operator");
+        throw ParseAbort{};
       default:
-        throw err("parse: unsupported shape expression at line ", e->line);
+        sink_.error("E209", e->line, e->col,
+                    "unsupported shape expression");
+        throw ParseAbort{};
     }
   }
 
@@ -178,17 +302,31 @@ class Parser {
     std::vector<StmtPtr> body;
     skip_newlines();
     while (!at(Tok::Dedent) && !at(Tok::EndOfFile)) {
-      body.push_back(parse_statement());
+      if (sink_.error_count() >= kMaxErrors) throw ParseAbort{};
+      size_t start = pos_;
+      try {
+        body.push_back(parse_statement());
+      } catch (const ParseAbort&) {
+        // Statement-level recovery: drop the damaged statement, sync to
+        // the next line in this block, keep going.
+        if (pos_ == start) advance();
+        sync_statement();
+      }
       skip_newlines();
     }
-    expect(Tok::Dedent, "dedent");
-    DACE_CHECK(!body.empty(), "parse: empty block");
+    if (at(Tok::Dedent)) advance();
+    if (body.empty()) {
+      sink_.error("E208", cur().line, cur().col,
+                  "empty block: a body must contain at least one statement");
+      throw ParseAbort{};
+    }
     return body;
   }
 
   StmtPtr parse_statement() {
     auto st = std::make_shared<StmtNode>();
     st->line = cur().line;
+    st->col = cur().col;
     if (at_name("for")) return parse_for();
     if (at_name("if")) return parse_if();
     if (at_name("while")) return parse_while();
@@ -198,9 +336,11 @@ class Parser {
       st->kind = StKind::Pass;
       return st;
     }
-    DACE_CHECK(!at_name("return"),
-               "parse: 'return' is not supported; write results into output "
-               "arguments (line ", cur().line, ")");
+    if (at_name("return")) {
+      abort_here("E207",
+                 "'return' is not supported; write results into output "
+                 "arguments");
+    }
     // Expression / assignment statement.
     ExprPtr target = parse_expr();
     if (at_op("=")) {
@@ -226,6 +366,7 @@ class Parser {
     auto st = std::make_shared<StmtNode>();
     st->kind = StKind::For;
     st->line = cur().line;
+    st->col = cur().col;
     expect_name("for");
     st->loop_vars.push_back(expect(Tok::Name, "loop variable").text);
     while (at_op(",")) {
@@ -244,6 +385,7 @@ class Parser {
     auto st = std::make_shared<StmtNode>();
     st->kind = StKind::If;
     st->line = cur().line;
+    st->col = cur().col;
     advance();  // if / elif
     st->cond = parse_expr();
     expect_op(":");
@@ -265,6 +407,7 @@ class Parser {
     auto st = std::make_shared<StmtNode>();
     st->kind = StKind::While;
     st->line = cur().line;
+    st->col = cur().col;
     expect_name("while");
     st->cond = parse_expr();
     expect_op(":");
@@ -281,8 +424,8 @@ class Parser {
   ExprPtr parse_or() {
     ExprPtr e = parse_and();
     while (at_name("or")) {
-      int line = advance().line;
-      e = make_binop("or", e, parse_and(), line);
+      Token t = advance();
+      e = make_binop("or", e, parse_and(), t.line, t.col);
     }
     return e;
   }
@@ -290,16 +433,16 @@ class Parser {
   ExprPtr parse_and() {
     ExprPtr e = parse_not();
     while (at_name("and")) {
-      int line = advance().line;
-      e = make_binop("and", e, parse_not(), line);
+      Token t = advance();
+      e = make_binop("and", e, parse_not(), t.line, t.col);
     }
     return e;
   }
 
   ExprPtr parse_not() {
     if (at_name("not")) {
-      int line = advance().line;
-      return make_unop("not", parse_not(), line);
+      Token t = advance();
+      return make_unop("not", parse_not(), t.line, t.col);
     }
     return parse_comparison();
   }
@@ -309,7 +452,7 @@ class Parser {
     while (at_op("<") || at_op("<=") || at_op(">") || at_op(">=") ||
            at_op("==") || at_op("!=")) {
       Token t = advance();
-      e = make_binop(t.text, e, parse_additive(), t.line);
+      e = make_binop(t.text, e, parse_additive(), t.line, t.col);
     }
     return e;
   }
@@ -318,7 +461,7 @@ class Parser {
     ExprPtr e = parse_multiplicative();
     while (at_op("+") || at_op("-")) {
       Token t = advance();
-      e = make_binop(t.text, e, parse_multiplicative(), t.line);
+      e = make_binop(t.text, e, parse_multiplicative(), t.line, t.col);
     }
     return e;
   }
@@ -328,15 +471,15 @@ class Parser {
     while (at_op("*") || at_op("/") || at_op("@") || at_op("%") ||
            at_op("//")) {
       Token t = advance();
-      e = make_binop(t.text, e, parse_unary(), t.line);
+      e = make_binop(t.text, e, parse_unary(), t.line, t.col);
     }
     return e;
   }
 
   ExprPtr parse_unary() {
     if (at_op("-")) {
-      int line = advance().line;
-      return make_unop("-", parse_unary(), line);
+      Token t = advance();
+      return make_unop("-", parse_unary(), t.line, t.col);
     }
     if (at_op("+")) {
       advance();
@@ -348,8 +491,8 @@ class Parser {
   ExprPtr parse_power() {
     ExprPtr e = parse_postfix();
     if (at_op("**")) {
-      int line = advance().line;
-      return make_binop("**", e, parse_unary(), line);  // right-assoc
+      Token t = advance();
+      return make_binop("**", e, parse_unary(), t.line, t.col);  // right-assoc
     }
     return e;
   }
@@ -367,12 +510,14 @@ class Parser {
     ExprPtr e = parse_atom();
     for (;;) {
       if (at_op("(")) {
-        int line = advance().line;
+        Token t = advance();
         auto call = std::make_shared<ExprNode>();
         call->kind = ExKind::Call;
-        call->line = line;
-        call->base = e;
+        call->line = t.line;
+        call->col = t.col;
         while (!at_op(")")) {
+          if (at(Tok::Newline) || at(Tok::EndOfFile))
+            abort_here("E210", "unterminated call; expected ')'");
           if (cur().kind == Tok::Name && peek().kind == Tok::Op &&
               peek().text == "=" ) {
             std::string key = advance().text;
@@ -384,14 +529,18 @@ class Parser {
           if (at_op(",")) advance();
         }
         expect_op(")");
+        call->base = e;
         e = call;
       } else if (at_op("[")) {
-        int line = advance().line;
+        Token t = advance();
         auto sub = std::make_shared<ExprNode>();
         sub->kind = ExKind::Subscript;
-        sub->line = line;
+        sub->line = t.line;
+        sub->col = t.col;
         sub->base = e;
         while (!at_op("]")) {
+          if (at(Tok::Newline) || at(Tok::EndOfFile))
+            abort_here("E210", "unterminated subscript; expected ']'");
           sub->slices.push_back(parse_slice_item());
           if (at_op(",")) advance();
         }
@@ -403,9 +552,9 @@ class Parser {
         // also become dotted names resolved by the consumer.
         advance();
         std::string attr = advance().text;
-        DACE_CHECK(e->kind == ExKind::Name,
-                   "parse: attribute on non-name at line ", cur().line);
-        e = make_name(e->name + "." + attr, e->line);
+        if (e->kind != ExKind::Name)
+          abort_here("E202", "attribute access on a non-name expression");
+        e = make_name(e->name + "." + attr, e->line, e->col);
       } else {
         return e;
       }
@@ -425,9 +574,13 @@ class Parser {
       item.begin = first;
     }
     expect_op(":");
+    if (at(Tok::Newline) || at(Tok::EndOfFile))
+      abort_here("E210", "unterminated slice; expected ']'");
     if (!at_op(":") && !at_op("]") && !at_op(",")) item.end = parse_expr();
     if (at_op(":")) {
       advance();
+      if (at(Tok::Newline) || at(Tok::EndOfFile))
+        abort_here("E210", "unterminated slice; expected ']'");
       if (!at_op("]") && !at_op(",")) item.step = parse_expr();
     }
     return item;
@@ -436,24 +589,26 @@ class Parser {
   ExprPtr parse_atom() {
     if (at(Tok::Number)) {
       Token t = advance();
-      return t.num_is_int ? make_int(t.inum, t.line) : make_num(t.num, t.line);
+      return t.num_is_int ? make_int(t.inum, t.line, t.col)
+                          : make_num(t.num, t.line, t.col);
     }
     if (at(Tok::Name)) {
       if (at_name("True") || at_name("False")) {
         Token t = advance();
-        return make_int(t.text == "True" ? 1 : 0, t.line);
+        return make_int(t.text == "True" ? 1 : 0, t.line, t.col);
       }
-      int line = cur().line;
+      Token t = cur();
       std::string name = parse_dotted_name();
-      return make_name(name, line);
+      return make_name(name, t.line, t.col);
     }
     if (at_op("(")) {
-      int line = advance().line;
+      Token t = advance();
       ExprPtr first = parse_expr();
       if (at_op(",")) {
         auto tup = std::make_shared<ExprNode>();
         tup->kind = ExKind::Tuple;
-        tup->line = line;
+        tup->line = t.line;
+        tup->col = t.col;
         tup->args.push_back(first);
         while (at_op(",")) {
           advance();
@@ -466,24 +621,43 @@ class Parser {
       expect_op(")");
       return first;
     }
-    throw err("parse: unexpected token '", cur().text, "' at line ",
-              cur().line);
+    abort_here("E202", "unexpected token " + describe_cur());
   }
 
   std::vector<Token> toks_;
   size_t pos_ = 0;
+  diag::DiagSink& sink_;
 };
 
 }  // namespace
 
-Module parse(const std::string& source) {
-  Parser p(tokenize(source));
+Module parse(const std::string& source, diag::DiagSink& sink) {
+  std::vector<Token> toks = tokenize(source, sink);
+  Parser p(std::move(toks), sink);
   return p.parse_module();
 }
 
+Module parse(const std::string& source) {
+  diag::DiagSink sink;
+  sink.set_source("<input>", source);
+  Module m = parse(source, sink);
+  if (sink.has_errors()) throw diag_error(sink);
+  return m;
+}
+
 ExprPtr parse_expression(const std::string& source) {
-  Parser p(tokenize(source));
-  return p.parse_single_expression();
+  diag::DiagSink sink;
+  sink.set_source("<expr>", source);
+  std::vector<Token> toks = tokenize(source, sink);
+  Parser p(std::move(toks), sink);
+  ExprPtr e;
+  try {
+    e = p.parse_single_expression();
+  } catch (const ParseAbort&) {
+    e = nullptr;
+  }
+  if (sink.has_errors() || !e) throw diag_error(sink);
+  return e;
 }
 
 }  // namespace dace::fe

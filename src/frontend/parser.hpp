@@ -4,14 +4,27 @@
 // produces the AST of ast.hpp.  Shape annotations are converted to
 // symbolic expressions; undeclared names in shapes become SDFG symbols
 // (the paper's `dace.symbol`).
+//
+// Two entry points: the throwing `parse(source)` renders every collected
+// diagnostic (with source-line carets) into one dace::Error; the
+// recovering `parse(source, sink)` reports into the sink and returns the
+// partial module — panic-mode recovery resynchronizes at statement and
+// top-level-function boundaries so one run reports all errors.
 #pragma once
 
+#include "common/diag.hpp"
 #include "frontend/ast.hpp"
 
 namespace dace::fe {
 
-/// Parse a DaCeLang module. Throws dace::Error with line info on failure.
+/// Parse a DaCeLang module. Throws dace::Error with line:col info and
+/// caret-rendered context on failure (all errors in one message).
 Module parse(const std::string& source);
+
+/// Recovering variant: collects all diagnostics into `sink` and returns
+/// the partial module (functions that parsed cleanly).  Never throws on
+/// malformed input; check sink.has_errors().
+Module parse(const std::string& source, diag::DiagSink& sink);
 
 /// Parse a single expression (for tests and interstate conditions).
 ExprPtr parse_expression(const std::string& source);

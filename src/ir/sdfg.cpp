@@ -313,4 +313,15 @@ std::unique_ptr<SDFG> SDFG::clone() const {
   return out;
 }
 
+void SDFG::swap(SDFG& other) noexcept {
+  std::swap(name_, other.name_);
+  std::swap(arrays_, other.arrays_);
+  std::swap(arg_names_, other.arg_names_);
+  std::swap(symbols_, other.symbols_);
+  std::swap(states_, other.states_);
+  std::swap(istate_edges_, other.istate_edges_);
+  std::swap(start_state_, other.start_state_);
+  std::swap(name_counter_, other.name_counter_);
+}
+
 }  // namespace dace::ir

@@ -21,6 +21,10 @@
 #include "symbolic/subset.hpp"
 #include "symbolic/symbolic.hpp"
 
+namespace dace::diag {
+class DiagSink;
+}
+
 namespace dace::ir {
 
 class SDFG;
@@ -328,6 +332,10 @@ class SDFG {
   /// until inlined -- inlining clones them first).
   std::unique_ptr<SDFG> clone() const;
 
+  /// Exchange full contents with another SDFG.  Used by the transactional
+  /// pipeline to roll a graph back to a pre-pass snapshot in O(1).
+  void swap(SDFG& other) noexcept;
+
   const std::string& name() const { return name_; }
   void set_name(std::string n) { name_ = std::move(n); }
 
@@ -419,8 +427,15 @@ class SDFG {
 
 /// Parse the serialization produced by SDFG::save() back into an SDFG
 /// (round-trip: load_sdfg(g.save())->dump() == g.dump()). Used by the
-/// sdfg-lint tool to analyze graphs offline. Throws dace::Error on
-/// malformed input.
+/// sdfg-lint tool to analyze graphs offline. Malformed or truncated input
+/// raises diag::DiagError (a dace::Error) with a stable E4xx code and the
+/// line:col of the offending token; duplicate array names and dangling
+/// node/state references are rejected.
 std::unique_ptr<SDFG> load_sdfg(const std::string& text);
+
+/// Recovering variant: on malformed input, records the located diagnostic
+/// into `sink` and returns nullptr instead of throwing.
+std::unique_ptr<SDFG> load_sdfg(const std::string& text,
+                                diag::DiagSink& sink);
 
 }  // namespace dace::ir

@@ -2,10 +2,12 @@
 // stable text dump for golden tests, and a reloadable S-expression
 // format (save / load_sdfg) for offline tools such as sdfg-lint.
 #include <cctype>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <sstream>
 
+#include "common/diag.hpp"
 #include "ir/sdfg.hpp"
 
 namespace dace::ir {
@@ -413,18 +415,60 @@ void write_sdfg(std::ostringstream& os, const SDFG& g) {
 
 // -- parser -----------------------------------------------------------------
 
+// Malformed or truncated input yields a located diag::DiagError (code,
+// line:col of the offending byte, expected-token message) instead of a
+// crash or a silent mis-parse.
 struct Parser {
   const std::string& text;
   size_t pos = 0;
+  int depth = 0;  // guards against stack overflow on pathological nesting
+
+  static constexpr int kMaxDepth = 200;
 
   explicit Parser(const std::string& t) : text(t) {}
+
+  /// 1-based line/col of an offset into the text.
+  std::pair<int, int> line_col(size_t at) const {
+    int line = 1, col = 1;
+    for (size_t i = 0; i < at && i < text.size(); ++i) {
+      if (text[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    return {line, col};
+  }
+
+  [[noreturn]] void fail(const char* code, const std::string& msg,
+                         size_t at) const {
+    auto [line, col] = line_col(at);
+    diag::Diagnostic d;
+    d.code = code;
+    d.line = line;
+    d.col = col;
+    d.message = msg;
+    std::ostringstream os;
+    os << "load_sdfg: " << msg << " at " << line << ":" << col << " (offset "
+       << at << ") [" << code << "]";
+    throw diag::DiagError(std::move(d), os.str());
+  }
+  [[noreturn]] void fail(const char* code, const std::string& msg) const {
+    fail(code, msg, pos);
+  }
+
+  std::string describe_here() const {
+    if (pos >= text.size()) return "end of input";
+    return std::string("'") + text[pos] + "'";
+  }
 
   void skip_ws() {
     while (pos < text.size() && std::isspace((unsigned char)text[pos])) ++pos;
   }
   char peek() {
     skip_ws();
-    DACE_CHECK(pos < text.size(), "load_sdfg: unexpected end of input");
+    if (pos >= text.size()) fail("E401", "unexpected end of input");
     return text[pos];
   }
   bool at_end() {
@@ -432,8 +476,8 @@ struct Parser {
     return pos >= text.size();
   }
   void expect(char c) {
-    DACE_CHECK(peek() == c, "load_sdfg: expected '", c, "' at offset ", pos,
-               ", got '", text[pos], "'");
+    if (peek() != c)
+      fail("E402", std::string("expected '") + c + "', got " + describe_here());
     ++pos;
   }
   /// Unquoted atom: identifiers, numbers, tags.
@@ -444,32 +488,58 @@ struct Parser {
            text[pos] != '(' && text[pos] != ')' && text[pos] != '"') {
       ++pos;
     }
-    DACE_CHECK(pos > start, "load_sdfg: expected atom at offset ", pos);
+    if (pos == start) fail("E402", "expected atom, got " + describe_here());
     return text.substr(start, pos - start);
   }
   std::string string() {
     expect('"');
+    size_t start = pos - 1;
     std::string out;
     while (pos < text.size() && text[pos] != '"') {
       if (text[pos] == '\\' && pos + 1 < text.size()) ++pos;
       out.push_back(text[pos++]);
     }
-    DACE_CHECK(pos < text.size(), "load_sdfg: unterminated string");
+    if (pos >= text.size()) fail("E401", "unterminated string", start);
     ++pos;
     return out;
   }
-  int64_t integer() { return std::strtoll(atom().c_str(), nullptr, 10); }
-  double real() { return std::strtod(atom().c_str(), nullptr); }
+  int64_t integer() {
+    skip_ws();
+    size_t at = pos;
+    std::string a = atom();
+    char* end = nullptr;
+    errno = 0;
+    int64_t v = std::strtoll(a.c_str(), &end, 10);
+    if (end != a.c_str() + a.size() || a.empty() || errno == ERANGE)
+      fail("E404", "expected integer, got '" + a + "'", at);
+    return v;
+  }
+  double real() {
+    skip_ws();
+    size_t at = pos;
+    std::string a = atom();
+    char* end = nullptr;
+    double v = std::strtod(a.c_str(), &end);
+    if (end != a.c_str() + a.size() || a.empty())
+      fail("E404", "expected number, got '" + a + "'", at);
+    return v;
+  }
   /// Opens a list and returns its tag: "(tag ..."
   std::string open() {
     expect('(');
+    if (++depth > kMaxDepth) fail("E404", "nesting too deep");
     return atom();
   }
   bool list_done() { return peek() == ')'; }
-  void close() { expect(')'); }
+  void close() {
+    expect(')');
+    --depth;
+  }
 };
 
 sym::Expr parse_expr(Parser& p) {
+  p.skip_ws();
+  size_t at = p.pos;
   std::string tag = p.open();
   sym::Expr out;
   if (tag == "c") {
@@ -484,21 +554,24 @@ sym::Expr parse_expr(Parser& p) {
       out = mul ? out * a : out + a;
     }
   } else {
+    if (tag != "fdiv" && tag != "emod" && tag != "emin" && tag != "emax")
+      p.fail("E403", "unknown expression tag '" + tag + "'", at);
     sym::Expr a = parse_expr(p);
     sym::Expr b = parse_expr(p);
     if (tag == "fdiv") out = floordiv(a, b);
     else if (tag == "emod") out = mod(a, b);
     else if (tag == "emin") out = min(a, b);
-    else if (tag == "emax") out = max(a, b);
-    else throw err("load_sdfg: unknown expression tag '", tag, "'");
+    else out = max(a, b);
   }
   p.close();
   return out;
 }
 
 sym::Range parse_range(Parser& p) {
+  p.skip_ws();
+  size_t at = p.pos;
   std::string tag = p.open();
-  DACE_CHECK(tag == "r", "load_sdfg: expected range, got '", tag, "'");
+  if (tag != "r") p.fail("E402", "expected range (r ...), got '" + tag + "'", at);
   sym::Expr b = parse_expr(p);
   sym::Expr e = parse_expr(p);
   sym::Expr s = parse_expr(p);
@@ -507,15 +580,18 @@ sym::Range parse_range(Parser& p) {
 }
 
 sym::Subset parse_subset(Parser& p) {
+  p.skip_ws();
+  size_t at = p.pos;
   std::string tag = p.open();
-  DACE_CHECK(tag == "subset", "load_sdfg: expected subset, got '", tag, "'");
+  if (tag != "subset")
+    p.fail("E402", "expected subset (subset ...), got '" + tag + "'", at);
   std::vector<sym::Range> rs;
   while (!p.list_done()) rs.push_back(parse_range(p));
   p.close();
   return sym::Subset(std::move(rs));
 }
 
-CodeOp code_op_from(const std::string& name) {
+CodeOp code_op_from(Parser& p, const std::string& name, size_t at) {
   static const std::map<std::string, CodeOp> table = {
       {"num", CodeOp::Const}, {"in", CodeOp::Input},  {"sym", CodeOp::Sym},
       {"add", CodeOp::Add},   {"sub", CodeOp::Sub},   {"mul", CodeOp::Mul},
@@ -529,19 +605,21 @@ CodeOp code_op_from(const std::string& name) {
       {"or", CodeOp::Or},     {"not", CodeOp::Not},   {"select", CodeOp::Select},
   };
   auto it = table.find(name);
-  DACE_CHECK(it != table.end(), "load_sdfg: unknown code op '", name, "'");
+  if (it == table.end()) p.fail("E403", "unknown code op '" + name + "'", at);
   return it->second;
 }
 
 CodeExpr parse_code(Parser& p) {
+  p.skip_ws();
+  size_t at = p.pos;
   if (p.peek() != '(') {
     std::string a = p.atom();
-    DACE_CHECK(a == "none", "load_sdfg: expected code expression, got '", a,
-               "'");
+    if (a != "none")
+      p.fail("E402", "expected code expression, got '" + a + "'", at);
     return CodeExpr();
   }
   std::string tag = p.open();
-  CodeOp op = code_op_from(tag);
+  CodeOp op = code_op_from(p, tag, at);
   CodeExpr out;
   switch (op) {
     case CodeOp::Const: out = CodeExpr::constant(p.real()); break;
@@ -557,7 +635,9 @@ CodeExpr parse_code(Parser& p) {
       } else if (args.size() == 3 && op == CodeOp::Select) {
         out = CodeExpr::select(args[0], args[1], args[2]);
       } else {
-        throw err("load_sdfg: op '", tag, "' with ", args.size(), " args");
+        p.fail("E404", "op '" + tag + "' with " + std::to_string(args.size()) +
+                           " args",
+               at);
       }
       p.close();
       return out;
@@ -568,25 +648,30 @@ CodeExpr parse_code(Parser& p) {
 }
 
 template <typename Enum>
-Enum enum_from(const std::string& name, const char* (*printer)(Enum),
+Enum enum_from(Parser& p, const char* (*printer)(Enum),
                std::initializer_list<Enum> values, const char* what) {
+  p.skip_ws();
+  size_t at = p.pos;
+  std::string name = p.atom();
   for (Enum v : values) {
     if (name == printer(v)) return v;
   }
-  throw err("load_sdfg: unknown ", what, " '", name, "'");
+  p.fail("E403", std::string("unknown ") + what + " '" + name + "'", at);
 }
 
 Memlet parse_memlet(Parser& p) {
+  p.skip_ws();
+  size_t at = p.pos;
   if (p.peek() != '(') {
     std::string a = p.atom();
-    DACE_CHECK(a == "none", "load_sdfg: expected memlet, got '", a, "'");
+    if (a != "none") p.fail("E402", "expected memlet, got '" + a + "'", at);
     return Memlet();
   }
   std::string tag = p.open();
-  DACE_CHECK(tag == "m", "load_sdfg: expected memlet, got '", tag, "'");
+  if (tag != "m") p.fail("E402", "expected memlet (m ...), got '" + tag + "'", at);
   Memlet m;
   m.data = p.string();
-  m.wcr = enum_from<WCR>(p.atom(), wcr_name,
+  m.wcr = enum_from<WCR>(p, wcr_name,
                          {WCR::None, WCR::Sum, WCR::Prod, WCR::Min, WCR::Max},
                          "wcr");
   m.dynamic = p.integer() != 0;
@@ -601,11 +686,20 @@ std::unique_ptr<SDFG> parse_sdfg(Parser& p);
 /// append will land on; holes left by removed nodes in the original graph
 /// are padded with throwaway placeholders so ids are preserved.
 void parse_node(Parser& p, State& st, int& next_id) {
+  p.skip_ws();
+  size_t id_at = p.pos;
   int id = static_cast<int>(p.integer());
+  if (id < next_id)
+    p.fail("E407", "node id " + std::to_string(id) +
+                       " duplicates or reorders an earlier node (next is " +
+                       std::to_string(next_id) + ")",
+           id_at);
   while (next_id < id) {
     st.remove_node(st.add_access("__load_pad"));
     ++next_id;
   }
+  p.skip_ws();
+  size_t at = p.pos;
   std::string tag = p.open();
   if (tag == "access") {
     st.add_access(p.string());
@@ -613,7 +707,7 @@ void parse_node(Parser& p, State& st, int& next_id) {
     std::string name = p.string();
     std::string output = p.string();
     std::string ins_tag = p.open();
-    DACE_CHECK(ins_tag == "ins", "load_sdfg: expected (ins ...)");
+    if (ins_tag != "ins") p.fail("E402", "expected (ins ...) in tasklet");
     std::vector<std::string> inputs;
     while (!p.list_done()) inputs.push_back(p.string());
     p.close();
@@ -625,17 +719,17 @@ void parse_node(Parser& p, State& st, int& next_id) {
                                          sym::Subset{});
     me->exit_node = static_cast<int>(p.integer());
     me->schedule = enum_from<Schedule>(
-        p.atom(), schedule_name,
+        p, schedule_name,
         {Schedule::Sequential, Schedule::CPUParallel, Schedule::GPUDevice,
          Schedule::FPGAPipeline},
         "schedule");
     me->omp_collapse = p.integer() != 0;
     std::string params_tag = p.open();
-    DACE_CHECK(params_tag == "params", "load_sdfg: expected (params ...)");
+    if (params_tag != "params") p.fail("E402", "expected (params ...) in map_entry");
     while (!p.list_done()) me->params.push_back(p.string());
     p.close();
     std::string range_tag = p.open();
-    DACE_CHECK(range_tag == "range", "load_sdfg: expected (range ...)");
+    if (range_tag != "range") p.fail("E402", "expected (range ...) in map_entry");
     std::vector<sym::Range> rs;
     while (!p.list_done()) rs.push_back(parse_range(p));
     p.close();
@@ -657,7 +751,7 @@ void parse_node(Parser& p, State& st, int& next_id) {
         std::string k = p.string();
         lib->sym_attrs[k] = parse_expr(p);
       } else {
-        throw err("load_sdfg: unknown library field '", sub, "'");
+        p.fail("E403", "unknown library field '" + sub + "'");
       }
       p.close();
     }
@@ -666,11 +760,11 @@ void parse_node(Parser& p, State& st, int& next_id) {
     std::set<std::string> ins, outs;
     sym::SubstMap symmap;
     std::string ins_tag = p.open();
-    DACE_CHECK(ins_tag == "ins", "load_sdfg: expected (ins ...)");
+    if (ins_tag != "ins") p.fail("E402", "expected (ins ...) in nested SDFG");
     while (!p.list_done()) ins.insert(p.string());
     p.close();
     std::string outs_tag = p.open();
-    DACE_CHECK(outs_tag == "outs", "load_sdfg: expected (outs ...)");
+    if (outs_tag != "outs") p.fail("E402", "expected (outs ...) in nested SDFG");
     while (!p.list_done()) outs.insert(p.string());
     p.close();
     while (p.peek() == '(') {
@@ -683,8 +777,9 @@ void parse_node(Parser& p, State& st, int& next_id) {
         p.close();
         continue;
       }
-      DACE_CHECK(sub == "sdfg", "load_sdfg: unknown nested field '", sub, "'");
+      if (sub != "sdfg") p.fail("E403", "unknown nested field '" + sub + "'");
       p.pos = mark;
+      --p.depth;  // re-parsed below by parse_sdfg
       break;
     }
     auto callee = parse_sdfg(p);
@@ -695,7 +790,7 @@ void parse_node(Parser& p, State& st, int& next_id) {
     node->symbol_mapping = std::move(symmap);
     st.add_node(std::move(node));
   } else {
-    throw err("load_sdfg: unknown node tag '", tag, "'");
+    p.fail("E403", "unknown node tag '" + tag + "'", at);
   }
   ++next_id;
   p.close();  // closes the node body
@@ -703,24 +798,34 @@ void parse_node(Parser& p, State& st, int& next_id) {
 }
 
 std::unique_ptr<SDFG> parse_sdfg(Parser& p) {
+  p.skip_ws();
+  size_t sdfg_at = p.pos;
   std::string tag = p.open();
-  DACE_CHECK(tag == "sdfg", "load_sdfg: expected (sdfg ...), got '", tag, "'");
+  if (tag != "sdfg")
+    p.fail("E402", "expected (sdfg ...), got '" + tag + "'", sdfg_at);
   auto g = std::make_unique<SDFG>(p.string());
   int start = 0;
+  size_t start_at = 0;
   int next_state = 0;
   while (!p.list_done()) {
+    p.skip_ws();
+    size_t section_at = p.pos;
     std::string section = p.open();
     if (section == "symbols") {
       while (!p.list_done()) g->add_symbol(p.string());
     } else if (section == "array") {
+      p.skip_ws();
+      size_t name_at = p.pos;
       std::string name = p.string();
+      if (g->has_array(name))
+        p.fail("E405", "duplicate array name '" + name + "'", name_at);
       DType dtype = enum_from<DType>(
-          p.atom(), dtype_name,
+          p, dtype_name,
           {DType::f32, DType::f64, DType::i32, DType::i64, DType::b8},
           "dtype");
       bool transient = p.integer() != 0;
       Storage storage = enum_from<Storage>(
-          p.atom(), storage_name,
+          p, storage_name,
           {Storage::Default, Storage::Register, Storage::CPUStack,
            Storage::CPUHeap, Storage::GPUGlobal, Storage::GPUShared,
            Storage::FPGAGlobal, Storage::FPGALocal},
@@ -729,7 +834,7 @@ std::unique_ptr<SDFG> parse_sdfg(Parser& p) {
       bool is_stream = p.integer() != 0;
       int64_t depth = p.integer();
       std::string shape_tag = p.open();
-      DACE_CHECK(shape_tag == "shape", "load_sdfg: expected (shape ...)");
+      if (shape_tag != "shape") p.fail("E402", "expected (shape ...) in array");
       std::vector<sym::Expr> shape;
       while (!p.list_done()) shape.push_back(parse_expr(p));
       p.close();
@@ -742,9 +847,18 @@ std::unique_ptr<SDFG> parse_sdfg(Parser& p) {
     } else if (section == "arg") {
       g->add_arg(p.string());
     } else if (section == "start") {
+      p.skip_ws();
+      start_at = p.pos;
       start = static_cast<int>(p.integer());
     } else if (section == "state") {
+      p.skip_ws();
+      size_t sid_at = p.pos;
       int sid = static_cast<int>(p.integer());
+      if (sid < next_state)
+        p.fail("E407", "state id " + std::to_string(sid) +
+                           " duplicates or reorders an earlier state (next is " +
+                           std::to_string(next_state) + ")",
+               sid_at);
       while (next_state < sid) {
         g->add_state("__load_pad");
         g->remove_state(next_state++);
@@ -753,41 +867,67 @@ std::unique_ptr<SDFG> parse_sdfg(Parser& p) {
       ++next_state;
       int next_node = 0;
       while (p.peek() == '(') {
+        p.skip_ws();
+        size_t sub_at = p.pos;
         std::string sub = p.open();
         if (sub == "node") {
           parse_node(p, st, next_node);
         } else if (sub == "edge") {
+          p.skip_ws();
+          size_t edge_at = p.pos;
           int src = static_cast<int>(p.integer());
           std::string src_conn = p.string();
           int dst = static_cast<int>(p.integer());
           std::string dst_conn = p.string();
           Memlet m = parse_memlet(p);
+          if (src < 0 || src >= next_node || !st.alive(src))
+            p.fail("E406", "edge references nonexistent source node " +
+                               std::to_string(src),
+                   edge_at);
+          if (dst < 0 || dst >= next_node || !st.alive(dst))
+            p.fail("E406", "edge references nonexistent destination node " +
+                               std::to_string(dst),
+                   edge_at);
           st.add_edge(src, src_conn, dst, dst_conn, std::move(m));
           p.close();
         } else {
-          throw err("load_sdfg: unknown state field '", sub, "'");
+          p.fail("E403", "unknown state field '" + sub + "'", sub_at);
         }
       }
     } else if (section == "iedge") {
+      p.skip_ws();
+      size_t iedge_at = p.pos;
       int src = static_cast<int>(p.integer());
       int dst = static_cast<int>(p.integer());
       CodeExpr cond = parse_code(p);
       std::vector<std::pair<std::string, sym::Expr>> assignments;
       while (!p.list_done()) {
         std::string sub = p.open();
-        DACE_CHECK(sub == "assign", "load_sdfg: expected (assign ...)");
+        if (sub != "assign") p.fail("E402", "expected (assign ...) in iedge");
         std::string k = p.string();
         assignments.emplace_back(k, parse_expr(p));
         p.close();
       }
+      if (!g->state_alive(src))
+        p.fail("E409", "interstate edge references nonexistent source state " +
+                           std::to_string(src),
+               iedge_at);
+      if (!g->state_alive(dst))
+        p.fail("E409",
+               "interstate edge references nonexistent destination state " +
+                   std::to_string(dst),
+               iedge_at);
       g->add_interstate_edge(src, dst, std::move(cond),
                              std::move(assignments));
     } else {
-      throw err("load_sdfg: unknown section '", section, "'");
+      p.fail("E403", "unknown section '" + section + "'", section_at);
     }
     p.close();
   }
   p.close();
+  if (next_state > 0 && !g->state_alive(start))
+    p.fail("E409", "start state " + std::to_string(start) + " does not exist",
+           start_at ? start_at : sdfg_at);
   g->set_start_state(start);
   return g;
 }
@@ -802,9 +942,28 @@ std::string SDFG::save() const {
 
 std::unique_ptr<SDFG> load_sdfg(const std::string& text) {
   Parser p(text);
-  auto g = parse_sdfg(p);
-  DACE_CHECK(p.at_end(), "load_sdfg: trailing input at offset ", p.pos);
+  std::unique_ptr<SDFG> g;
+  try {
+    g = parse_sdfg(p);
+  } catch (const diag::DiagError&) {
+    throw;
+  } catch (const Error& e) {
+    // Graph-construction errors (e.g. State::add_edge connector checks)
+    // surfacing through the loader become located diagnostics too.
+    p.fail("E400", e.what());
+  }
+  if (!p.at_end()) p.fail("E408", "trailing input after (sdfg ...)");
   return g;
+}
+
+std::unique_ptr<SDFG> load_sdfg(const std::string& text,
+                                diag::DiagSink& sink) {
+  try {
+    return load_sdfg(text);
+  } catch (const diag::DiagError& e) {
+    sink.report(e.diagnostic());
+    return nullptr;
+  }
 }
 
 }  // namespace dace::ir

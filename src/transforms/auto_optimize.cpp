@@ -30,7 +30,9 @@ void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
   // fused single-map loop bodies; fusion needs the states LoopToMap and
   // state fusion produce -- iterate the passes jointly to fixpoint.
   pipe.add_fixpoint("trivial-map-elimination", trivial_map_elimination);
-  pipe.add("fusion+loop-to-map", [&opts](ir::SDFG& g) {
+  // Captures are by value: with a pass timeout the body runs on a worker
+  // thread that may outlive this frame if abandoned.
+  pipe.add("fusion+loop-to-map", [opts](ir::SDFG& g) {
     bool any = false;
     bool changed = true;
     while (changed) {
@@ -50,7 +52,7 @@ void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
 
   // (3) Tile WCR maps to reduce atomic updates.
   if (opts.tile_wcr) {
-    pipe.add("wcr-tiling", [&opts, device](ir::SDFG& g) {
+    pipe.add("wcr-tiling", [tile_size = opts.wcr_tile_size, device](ir::SDFG& g) {
       // Schedules must be known before tiling decides atomicity; set the
       // target schedule first.
       ir::Schedule sched = ir::Schedule::CPUParallel;
@@ -58,7 +60,7 @@ void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
       if (device == ir::DeviceType::FPGA) sched = ir::Schedule::FPGAPipeline;
       set_toplevel_schedules(g, sched, device == ir::DeviceType::CPU);
       apply_repeated(g, [&](ir::SDFG& gg) {
-        return tile_wcr_map(gg, opts.wcr_tile_size);
+        return tile_wcr_map(gg, tile_size);
       });
       return true;
     });
@@ -71,6 +73,9 @@ void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
       return true;
     });
   }
+
+  // Injected passes (tests, fuzzer fault injection).
+  for (const Pass& p : opts.extra_passes) pipe.add(p.name, p.apply);
 
   // Device specialization.
   pipe.add("device-specialize", [device](ir::SDFG& g) {
@@ -91,7 +96,8 @@ void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
     return true;
   });
 
-  pipe.run(sdfg);
+  PassReport report = pipe.run_transactional(sdfg);
+  if (opts.report) *opts.report = std::move(report);
   sdfg.validate();
 }
 

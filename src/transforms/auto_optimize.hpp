@@ -7,8 +7,10 @@
 #pragma once
 
 #include <optional>
+#include <vector>
 
 #include "ir/sdfg.hpp"
+#include "transforms/pass.hpp"
 
 namespace dace::xf {
 
@@ -23,9 +25,20 @@ struct AutoOptOptions {
   /// Run the semantic analyzer after every pass (Pipeline verify mode);
   /// unset = follow DACE_VERIFY_PASSES.
   std::optional<bool> verify;
+  /// Extra passes appended after the standard ones, before device
+  /// specialization (fault-injection hook for the pipeline tests and the
+  /// differential fuzzer).
+  std::vector<Pass> extra_passes;
+  /// When set, receives the per-pass transactional report (which passes
+  /// committed, which were rolled back and why, first broken pass).
+  PassReport* report = nullptr;
 };
 
-/// Run the full heuristic pipeline for the given device.
+/// Run the full heuristic pipeline for the given device.  The pipeline is
+/// transactional (Pipeline::run_transactional): a pass that throws, hangs
+/// past DACE_XF_PASS_TIMEOUT, or corrupts the graph is rolled back and
+/// recorded, and the graph left in `sdfg` is the best verified one --
+/// auto_optimize never fails because one transformation does.
 void auto_optimize(ir::SDFG& sdfg, ir::DeviceType device,
                    const AutoOptOptions& opts = {});
 

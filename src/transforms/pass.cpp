@@ -1,5 +1,13 @@
 #include "transforms/pass.hpp"
 
+#include <chrono>
+#include <condition_variable>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <thread>
+
 namespace dace::xf {
 
 int apply_repeated(ir::SDFG& sdfg, const Transformation& t,
@@ -60,6 +68,231 @@ int Pipeline::run(ir::SDFG& sdfg) const {
     }
   }
   return changed;
+}
+
+// -- transactional execution ------------------------------------------------
+
+namespace {
+
+bool env_truthy(const char* name) {
+  const char* v = std::getenv(name);
+  return v && *v && std::string(v) != "0";
+}
+
+/// Result of executing one pass body (no commit decision yet).
+struct PassRun {
+  bool applied = false;
+  bool timed_out = false;
+  std::string error;  // empty = completed without throwing
+};
+
+PassRun run_body(const Transformation& body, ir::SDFG& g) {
+  PassRun r;
+  try {
+    r.applied = body(g);
+  } catch (const std::exception& e) {
+    r.error = e.what();
+    if (r.error.empty()) r.error = "unknown error";
+  } catch (...) {
+    r.error = "non-standard exception";
+  }
+  return r;
+}
+
+/// Executes a pass against `graph`, bounded by `timeout_ms` when > 0.
+/// With a timeout the body runs in a detached worker thread that owns a
+/// shared reference to the graph: abandoning it on timeout is safe
+/// because the orphaned worker keeps mutating only its own (discarded)
+/// copy, never the committed graph.
+PassRun execute_pass(const Pass& p, std::shared_ptr<ir::SDFG> graph,
+                     int timeout_ms) {
+  if (timeout_ms <= 0) return run_body(p.apply, *graph);
+  struct Shared {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    PassRun result;
+  };
+  auto shared = std::make_shared<Shared>();
+  std::thread([shared, body = p.apply, graph]() {
+    PassRun r = run_body(body, *graph);
+    std::lock_guard<std::mutex> lk(shared->m);
+    shared->result = std::move(r);
+    shared->done = true;
+    shared->cv.notify_all();
+  }).detach();
+  std::unique_lock<std::mutex> lk(shared->m);
+  if (!shared->cv.wait_for(lk, std::chrono::milliseconds(timeout_ms),
+                           [&] { return shared->done; })) {
+    PassRun r;
+    r.timed_out = true;
+    r.error = "timed out after " + std::to_string(timeout_ms) + " ms";
+    return r;
+  }
+  return shared->result;
+}
+
+/// Commit gate: structural validation, serializer round-trip (the
+/// fallback integrity check -- the hardened loader rejects dangling
+/// references a corrupted graph would produce), and in verify mode the
+/// semantic analyzer against the pre-pipeline baseline.  Returns the
+/// reason the graph must not be committed, or empty.
+std::string integrity_error(ir::SDFG& g, bool verifying,
+                            const std::set<std::string>& baseline,
+                            analysis::AnalysisReport* out_report) {
+  try {
+    g.validate();
+  } catch (const Error& e) {
+    return std::string("broke structural validation: ") + e.what();
+  }
+  try {
+    auto reloaded = ir::load_sdfg(g.save());
+    if (reloaded->dump() != g.dump())
+      return "serializer round-trip changed the graph";
+  } catch (const Error& e) {
+    return std::string("serializer round-trip failed: ") + e.what();
+  }
+  if (verifying) {
+    analysis::AnalysisReport rep = analysis::analyze(g);
+    for (const auto& d : rep.diagnostics()) {
+      if (d.severity != analysis::Severity::Error) continue;
+      if (baseline.count(d.fingerprint())) continue;
+      return "introduced a semantic error: " + d.to_string();
+    }
+    if (out_report) *out_report = std::move(rep);
+  }
+  return "";
+}
+
+}  // namespace
+
+std::string PassReport::summary() const {
+  std::ostringstream os;
+  os << "pipeline '" << pipeline << "': " << committed << " committed, "
+     << rolled_back << " rolled back";
+  if (!first_broken_pass.empty()) {
+    os << "; first broken pass: '" << first_broken_pass << "'";
+    if (bisected) os << " (bisected)";
+  }
+  os << "\n";
+  for (const auto& o : outcomes) {
+    const char* tag = o.rolled_back ? (o.timed_out ? "TIMEOUT" : "ROLLBACK")
+                                    : (o.applied ? "ok" : "noop");
+    os << "  [" << tag << "] " << o.name;
+    if (o.ms > 0.0) {
+      os.setf(std::ios::fixed);
+      os.precision(1);
+      os << " (" << o.ms << " ms)";
+    }
+    if (!o.error.empty()) os << " -- " << o.error;
+    os << "\n";
+  }
+  return os.str();
+}
+
+int Pipeline::pass_timeout_ms() {
+  const char* v = std::getenv("DACE_XF_PASS_TIMEOUT");
+  if (!v || !*v) return 0;
+  return std::atoi(v);
+}
+
+bool Pipeline::bisect_env() { return env_truthy("DACE_XF_BISECT"); }
+
+PassReport Pipeline::run_transactional(ir::SDFG& sdfg) const {
+  const bool verifying = verify();
+  const int timeout_ms = pass_timeout_ms();
+  PassReport report;
+  report.pipeline = name_;
+  last_report_ = analysis::AnalysisReport();
+
+  std::set<std::string> baseline;
+  try {
+    sdfg.validate();
+    baseline = analysis::analyze(sdfg).error_fingerprints();
+  } catch (const Error& e) {
+    PassOutcome o;
+    o.name = "<input>";
+    o.rolled_back = true;
+    o.error = std::string("input graph failed validation: ") + e.what();
+    report.outcomes.push_back(std::move(o));
+    report.rolled_back = 1;
+    report.first_broken_pass = "<input>";
+    return report;
+  }
+
+  const bool bisecting = !verifying && bisect_env();
+  std::unique_ptr<ir::SDFG> pristine = bisecting ? sdfg.clone() : nullptr;
+
+  for (const Pass& p : passes_) {
+    PassOutcome o;
+    o.name = p.name;
+    auto t0 = std::chrono::steady_clock::now();
+    // The pass mutates a snapshot; the committed graph is untouched until
+    // the snapshot passes the commit gate, so "rollback" is O(1) discard.
+    std::shared_ptr<ir::SDFG> work(sdfg.clone().release());
+    PassRun r = execute_pass(p, work, timeout_ms);
+    o.ms = std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - t0)
+               .count();
+    o.applied = r.applied;
+    o.timed_out = r.timed_out;
+    std::string why = r.error;
+    if (why.empty() && r.applied)
+      why = integrity_error(*work, verifying, baseline, &last_report_);
+    if (!why.empty()) {
+      o.rolled_back = true;
+      o.error = std::move(why);
+      ++report.rolled_back;
+      if (report.first_broken_pass.empty()) report.first_broken_pass = p.name;
+    } else if (r.applied) {
+      sdfg.swap(*work);
+      o.committed = true;
+      ++report.committed;
+    }
+    report.outcomes.push_back(std::move(o));
+  }
+
+  // Without per-pass semantic verification a pass can corrupt the graph
+  // in ways only the analyzer sees.  Under DACE_XF_BISECT, attribute the
+  // corruption to the first breaking pass by replaying prefixes from the
+  // pristine snapshot, then recover the best verified graph by re-running
+  // with verification forced on (which rolls the culprit back).
+  if (bisecting && report.first_broken_pass.empty()) {
+    bool corrupt = false;
+    analysis::AnalysisReport rep = analysis::analyze(sdfg);
+    for (const auto& d : rep.diagnostics()) {
+      if (d.severity != analysis::Severity::Error) continue;
+      if (baseline.count(d.fingerprint())) continue;
+      corrupt = true;
+      break;
+    }
+    if (corrupt) {
+      auto g = pristine->clone();
+      for (const Pass& p : passes_) {
+        try {
+          if (!p.apply(*g)) continue;
+        } catch (...) {
+          continue;  // a throwing pass was already rolled back above
+        }
+        if (!integrity_error(*g, /*verifying=*/true, baseline, nullptr)
+                 .empty()) {
+          report.first_broken_pass = p.name;
+          report.bisected = true;
+          break;
+        }
+      }
+      Pipeline repaired(*this);
+      repaired.set_verify(true);
+      PassReport fixed = repaired.run_transactional(*pristine);
+      sdfg.swap(*pristine);
+      report.committed = fixed.committed;
+      report.rolled_back = fixed.rolled_back;
+      report.outcomes = std::move(fixed.outcomes);
+      if (report.first_broken_pass.empty())
+        report.first_broken_pass = fixed.first_broken_pass;
+    }
+  }
+  return report;
 }
 
 void rename_map_params(ir::State& st, int entry,

@@ -39,6 +39,34 @@ struct Pass {
   Transformation apply;
 };
 
+/// Outcome of one pass in a transactional pipeline run.
+struct PassOutcome {
+  std::string name;
+  bool applied = false;      // the pass reported a change
+  bool committed = false;    // the change was kept
+  bool rolled_back = false;  // graph restored to the pre-pass snapshot
+  bool timed_out = false;    // exceeded DACE_XF_PASS_TIMEOUT
+  double ms = 0.0;           // wall-clock time of the pass body
+  std::string error;         // why the pass was rolled back (empty if ok)
+};
+
+/// Report of a transactional pipeline run: one outcome per pass, plus the
+/// name of the first pass proven to break the graph (filled directly when
+/// a pass fails its own transaction, or by auto-bisection under
+/// DACE_XF_BISECT=1 when corruption only surfaces later).
+struct PassReport {
+  std::vector<PassOutcome> outcomes;
+  int committed = 0;
+  int rolled_back = 0;
+  bool bisected = false;            // first_broken_pass found by bisection
+  std::string first_broken_pass;    // empty if every pass committed
+  std::string pipeline;
+
+  bool all_committed() const { return rolled_back == 0; }
+  /// Human-readable per-pass table.
+  std::string summary() const;
+};
+
 /// An ordered sequence of passes with optional verify-after-every-pass.
 class Pipeline {
  public:
@@ -62,6 +90,24 @@ class Pipeline {
   /// taken as the baseline, and any pass whose application adds a new
   /// error-severity finding (or breaks structural validation) throws.
   int run(ir::SDFG& sdfg) const;
+
+  /// Crash-safe variant: every pass executes against a deep-clone
+  /// snapshot and is committed only if it survives structural validation
+  /// and a serializer round-trip (plus the semantic analyzer in verify
+  /// mode).  A pass that throws, corrupts the graph, or exceeds the
+  /// per-pass timeout (DACE_XF_PASS_TIMEOUT, milliseconds) is rolled
+  /// back and recorded in the report; the pipeline continues degraded
+  /// with the remaining passes.  Never throws on pass failure -- the
+  /// graph left in `sdfg` is always the best verified one.  With
+  /// DACE_XF_BISECT=1, corruption that only surfaces at the end of a
+  /// non-verifying run is attributed to the first breaking pass by
+  /// bisection over pass prefixes.
+  PassReport run_transactional(ir::SDFG& sdfg) const;
+
+  /// Per-pass timeout in milliseconds from DACE_XF_PASS_TIMEOUT (0 = off).
+  static int pass_timeout_ms();
+  /// True if DACE_XF_BISECT is set to a truthy value.
+  static bool bisect_env();
 
   /// Report of the last analysis performed by run() in verify mode
   /// (empty when verify is off).

@@ -287,5 +287,118 @@ def f(A: dace.float64[N]):
                Error);
 }
 
+// ---------------------------------------------------------------------------
+// Golden diagnostics: the recovering entry points must surface *every*
+// finding in one run, with accurate codes and line:col, and never abort.
+
+TEST(Diagnostics, MultipleErrorsReportedInOneRun) {
+  diag::DiagSink sink;
+  Module m = parse(R"(
+@dace.program
+def f(A: dace.badtype[N], B: dace.mystery[N]):
+    A[:] = B[:]
+)",
+                   sink);
+  // Both bad annotations are reported; parsing recovered past each.
+  ASSERT_EQ(sink.size(), 2u);
+  EXPECT_EQ(sink.diagnostics()[0].code, "E206");
+  EXPECT_EQ(sink.diagnostics()[1].code, "E206");
+  EXPECT_EQ(sink.diagnostics()[0].line, 3);
+  EXPECT_EQ(sink.diagnostics()[1].line, 3);
+  EXPECT_LT(sink.diagnostics()[0].col, sink.diagnostics()[1].col);
+  // Recovery assumed float64 and kept the function.
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_EQ(m.functions[0].params.size(), 2u);
+}
+
+TEST(Diagnostics, CaretPointsAtOffendingColumn) {
+  diag::DiagSink sink;
+  sink.set_source("test.py", "x = a $ b\n");
+  tokenize("x = a $ b\n", sink);
+  ASSERT_TRUE(sink.has_errors());
+  const auto& d = sink.diagnostics()[0];
+  EXPECT_EQ(d.code, "E101");
+  EXPECT_EQ(d.line, 1);
+  EXPECT_EQ(d.col, 7);  // the '$'
+  // Rendered caret sits under column 7: 4-space gutter + 6 pad + '^'.
+  EXPECT_NE(sink.render().find("\n          ^"), std::string::npos);
+}
+
+TEST(Diagnostics, InconsistentIndentRecovered) {
+  diag::DiagSink sink;
+  Module m = parse(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    if N > 2:
+        A[0] = 1.0
+      A[1] = 2.0
+    A[2] = 3.0
+)",
+                   sink);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics()[0].code, "E102");
+  EXPECT_EQ(sink.diagnostics()[0].line, 6);
+  // The lexer recovered: the function survived with a parsed body.
+  ASSERT_EQ(m.functions.size(), 1u);
+  EXPECT_FALSE(m.functions[0].body.empty());
+}
+
+TEST(Diagnostics, UnterminatedSliceHasCodeAndLocation) {
+  diag::DiagSink sink;
+  parse(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    A[0:
+)",
+        sink);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics()[0].code, "E210");
+  // Points at the end of input, just past the open slice on line 4.
+  EXPECT_GE(sink.diagnostics()[0].line, 4);
+  EXPECT_NE(sink.diagnostics()[0].message.find("slice"), std::string::npos);
+}
+
+TEST(Diagnostics, ShapeMismatchThroughSinkNeverThrows) {
+  diag::DiagSink sink;
+  auto g = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N, M], B: dace.float64[N]):
+    A[:] = B[:]
+)",
+                           sink);
+  EXPECT_EQ(g, nullptr);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics()[0].code, "E303");
+  EXPECT_EQ(sink.diagnostics()[0].line, 4);
+}
+
+TEST(Diagnostics, JsonOutputIsStructured) {
+  diag::DiagSink sink;
+  sink.set_source("prog.py", "x ? y\n");
+  tokenize("x ? y\n", sink);
+  ASSERT_TRUE(sink.has_errors());
+  std::string js = sink.to_json();
+  EXPECT_NE(js.find("\"source\": \"prog.py\""), std::string::npos);
+  EXPECT_NE(js.find("\"code\": \"E101\""), std::string::npos);
+  EXPECT_NE(js.find("\"line\": 1"), std::string::npos);
+  EXPECT_NE(js.find("\"severity\": \"error\""), std::string::npos);
+}
+
+TEST(Diagnostics, ThrowingPathCarriesRenderedReport) {
+  try {
+    compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    A[:] = missing_name * 2.0
+)");
+    FAIL() << "expected diagnostic error";
+  } catch (const Error& e) {
+    std::string msg = e.what();
+    EXPECT_NE(msg.find("[E301]"), std::string::npos);
+    EXPECT_NE(msg.find("missing_name"), std::string::npos);
+    EXPECT_NE(msg.find("4:"), std::string::npos);  // line 4
+  }
+}
+
 }  // namespace
 }  // namespace dace::fe

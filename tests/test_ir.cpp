@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/diag.hpp"
+
 namespace dace::ir {
 namespace {
 
@@ -188,6 +190,111 @@ TEST(IR, PersistentLifetimeAndStorageInDump) {
   std::string dump = sdfg.dump();
   EXPECT_NE(dump.find("persistent"), std::string::npos);
   EXPECT_NE(dump.find("GPU_Global"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// Hardened loader: malformed serializations yield located E4xx
+// diagnostics -- never an abort, never an unlocated throw.
+
+/// Assert load_sdfg rejects `text` with the given code and a real
+/// location, through both the throwing and the sink-based entry points.
+void expect_load_error(const std::string& text, const std::string& code) {
+  try {
+    load_sdfg(text);
+    FAIL() << "expected " << code << " for: " << text.substr(0, 60);
+  } catch (const diag::DiagError& e) {
+    EXPECT_EQ(e.diagnostic().code, code) << e.what();
+    EXPECT_GT(e.diagnostic().line, 0);
+    EXPECT_GT(e.diagnostic().col, 0);
+    EXPECT_NE(std::string(e.what()).find("[" + code + "]"),
+              std::string::npos);
+  }
+  diag::DiagSink sink;
+  EXPECT_EQ(load_sdfg(text, sink), nullptr);
+  ASSERT_TRUE(sink.has_errors());
+  EXPECT_EQ(sink.diagnostics()[0].code, code);
+}
+
+TEST(Serialize, TruncatedInputIsE401) {
+  std::string good = make_scale_sdfg()->save();
+  expect_load_error(good.substr(0, good.size() - 3), "E401");
+  expect_load_error("(sdfg \"unterminated", "E401");
+}
+
+TEST(Serialize, WrongTokenIsE402WithLocation) {
+  try {
+    load_sdfg("(sdfg broken)");
+    FAIL();
+  } catch (const diag::DiagError& e) {
+    EXPECT_EQ(e.diagnostic().code, "E402");
+    EXPECT_EQ(e.diagnostic().line, 1);
+    EXPECT_EQ(e.diagnostic().col, 7);  // the 'b'
+  }
+}
+
+TEST(Serialize, OverflowingNumberIsE404) {
+  std::string bad = make_scale_sdfg()->save();
+  size_t at = bad.find("(c 0)");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 5, "(c 99999999999999999999999)");
+  expect_load_error(bad, "E404");
+}
+
+TEST(Serialize, RunawayNestingIsE404) {
+  std::string bomb;
+  for (int i = 0; i < 300; ++i) bomb += "(neg ";
+  expect_load_error("(sdfg \"x\" (state 0 \"s\" (node 0 (tasklet \"t\" "
+                    "\"__out\" (ins) " + bomb,
+                    "E404");
+}
+
+TEST(Serialize, DuplicateArrayNameIsE405) {
+  std::string bad = make_scale_sdfg()->save();
+  size_t at = bad.find("(arg \"a\")");
+  ASSERT_NE(at, std::string::npos);
+  bad.insert(at, "(array \"a\" float64 0 Default Scope 0 0 "
+                 "(shape (s \"N\")))\n  ");
+  expect_load_error(bad, "E405");
+}
+
+TEST(Serialize, DanglingEdgeEndpointIsE406) {
+  std::string bad = make_scale_sdfg()->save();
+  size_t at = bad.find("(edge 2 ");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 8, "(edge 9 ");
+  expect_load_error(bad, "E406");
+}
+
+TEST(Serialize, DuplicateNodeIdIsE407) {
+  std::string bad = make_scale_sdfg()->save();
+  size_t at = bad.find("(node 2 ");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 8, "(node 1 ");
+  expect_load_error(bad, "E407");
+}
+
+TEST(Serialize, TrailingInputIsE408) {
+  expect_load_error(make_scale_sdfg()->save() + "\n(sdfg \"again\")",
+                    "E408");
+}
+
+TEST(Serialize, NonexistentStartStateIsE409) {
+  std::string bad = make_scale_sdfg()->save();
+  size_t at = bad.find("(start 0)");
+  ASSERT_NE(at, std::string::npos);
+  bad.replace(at, 9, "(start 7)");
+  expect_load_error(bad, "E409");
+}
+
+TEST(Serialize, GoodGraphStillRoundTrips) {
+  auto g = make_scale_sdfg();
+  auto reloaded = load_sdfg(g->save());
+  EXPECT_EQ(reloaded->dump(), g->dump());
+  diag::DiagSink sink;
+  auto via_sink = load_sdfg(g->save(), sink);
+  ASSERT_NE(via_sink, nullptr);
+  EXPECT_TRUE(sink.empty());
+  EXPECT_EQ(via_sink->dump(), g->dump());
 }
 
 }  // namespace

@@ -3,7 +3,11 @@
 // by executing before/after and comparing results.
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdlib>
+#include <optional>
 #include <random>
+#include <thread>
 
 #include "frontend/lowering.hpp"
 #include "runtime/executor.hpp"
@@ -390,6 +394,192 @@ def doitgen(A: dace.float64[NR, NQ, NP], C4: dace.float64[NP, NP]):
   xf::auto_optimize(*opt, ir::DeviceType::CPU);
   expect_equivalent(*base, *opt, {{"A", {4, 5, 6}}, {"C4", {6, 6}}},
                     {{"NR", 4}, {"NQ", 5}, {"NP", 6}}, {"A"});
+}
+
+// ---------------------------------------------------------------------------
+// Transactional pipeline: broken passes roll back, the pipeline degrades
+// instead of crashing, and bisection names the culprit.
+
+/// Scoped environment override (mirrors the pattern in test_tiered.cpp).
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    const char* old = getenv(name);
+    if (old) saved_ = old;
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (saved_) setenv(name_, saved_->c_str(), 1);
+    else unsetenv(name_);
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+/// A pass that silently corrupts semantics: appends a state whose map
+/// writes A[0] from every iteration (a provable write-write race) while
+/// remaining structurally valid and round-trippable.
+bool inject_race(ir::SDFG& g) {
+  using sym::Expr;
+  using sym::Range;
+  using sym::S;
+  using sym::Subset;
+  int prev = g.state_order().back();
+  ir::State& st = g.add_state("__injected_racy");
+  g.add_interstate_edge(prev, g.state_id(&st));
+  int na = st.add_access("A");
+  auto [me, mx] = st.add_map("racy_m", {"i"},
+                             Subset({Range(Expr(int64_t{0}), S("N"))}));
+  int tl = st.add_tasklet("racy_t", {}, ir::CodeExpr::constant(1.0));
+  st.add_edge(me, "", tl, "", ir::Memlet());
+  st.add_edge(tl, "__out", mx, "IN_A",
+              ir::Memlet("A", Subset::element({Expr(int64_t{0})})));
+  st.add_edge(mx, "OUT_A", na, "", ir::Memlet("A", Subset::full({S("N")})));
+  return true;
+}
+
+std::unique_ptr<ir::SDFG> simple_vector_sdfg() {
+  return compile_to_sdfg(R"(
+@dace.program
+def base(A: dace.float64[N]):
+    A[:] = A[:] * 2.0
+)");
+}
+
+TEST(TransactionalPipeline, ThrowingPassRollsBackAndPipelineContinues) {
+  auto g = simple_vector_sdfg();
+  std::string before = g->dump();
+  bool later_ran = false;
+  xf::Pipeline pipe("test");
+  pipe.add("explodes", [](ir::SDFG&) -> bool {
+    throw Error("pass blew up");
+  });
+  pipe.add("survivor", [&](ir::SDFG&) {
+    later_ran = true;
+    return false;
+  });
+  xf::PassReport report = pipe.run_transactional(*g);
+  EXPECT_TRUE(later_ran);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_TRUE(report.outcomes[0].rolled_back);
+  EXPECT_NE(report.outcomes[0].error.find("blew up"), std::string::npos);
+  EXPECT_EQ(report.first_broken_pass, "explodes");
+  EXPECT_EQ(report.rolled_back, 1);
+  EXPECT_EQ(g->dump(), before);  // graph untouched by the failed pass
+  EXPECT_NE(report.summary().find("ROLLBACK"), std::string::npos);
+}
+
+TEST(TransactionalPipeline, StructuralCorruptionIsRolledBack) {
+  auto g = simple_vector_sdfg();
+  std::string before = g->dump();
+  xf::Pipeline pipe("test");
+  pipe.add("corrupts", [](ir::SDFG& s) {
+    s.set_start_state(99);  // dangling start state
+    return true;
+  });
+  xf::PassReport report = pipe.run_transactional(*g);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_TRUE(report.outcomes[0].rolled_back);
+  EXPECT_FALSE(report.outcomes[0].committed);
+  EXPECT_EQ(report.first_broken_pass, "corrupts");
+  EXPECT_EQ(g->dump(), before);
+  EXPECT_NO_THROW(g->validate());
+}
+
+TEST(TransactionalPipeline, HungPassTimesOutAndRollsBack) {
+  EnvGuard timeout("DACE_XF_PASS_TIMEOUT", "50");
+  auto g = simple_vector_sdfg();
+  std::string before = g->dump();
+  xf::Pipeline pipe("test");
+  pipe.add("hangs", [](ir::SDFG& s) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(400));
+    s.add_symbol("__should_never_commit");
+    return true;
+  });
+  pipe.add("after", [](ir::SDFG& s) {
+    s.add_symbol("__committed_after_timeout");
+    return true;
+  });
+  xf::PassReport report = pipe.run_transactional(*g);
+  ASSERT_EQ(report.outcomes.size(), 2u);
+  EXPECT_TRUE(report.outcomes[0].timed_out);
+  EXPECT_TRUE(report.outcomes[0].rolled_back);
+  EXPECT_NE(report.outcomes[0].error.find("timed out"), std::string::npos);
+  // The orphaned worker's mutation never reaches the committed graph,
+  // and the pipeline kept going.
+  EXPECT_FALSE(g->has_symbol("__should_never_commit"));
+  EXPECT_TRUE(g->has_symbol("__committed_after_timeout"));
+  EXPECT_TRUE(report.outcomes[1].committed);
+  EXPECT_NE(report.summary().find("TIMEOUT"), std::string::npos);
+  // Let the orphaned worker finish before its captures are torn down.
+  std::this_thread::sleep_for(std::chrono::milliseconds(450));
+  (void)before;
+}
+
+TEST(TransactionalPipeline, BisectNamesSilentSemanticCorruptor) {
+  EnvGuard bisect("DACE_XF_BISECT", "1");
+  auto g = simple_vector_sdfg();
+  std::string before = g->dump();
+  xf::Pipeline pipe("test");
+  pipe.set_verify(false);  // per-pass gate won't see the semantic break
+  pipe.add("benign", [](ir::SDFG&) { return false; });
+  pipe.add("inject-race", inject_race);
+  pipe.add("benign2", [](ir::SDFG&) { return false; });
+  xf::PassReport report = pipe.run_transactional(*g);
+  EXPECT_TRUE(report.bisected);
+  EXPECT_EQ(report.first_broken_pass, "inject-race");
+  // The verified repair run rolled the culprit back: best verified graph.
+  EXPECT_EQ(g->dump(), before);
+  EXPECT_NO_THROW(g->validate());
+}
+
+TEST(TransactionalPipeline, VerifyModeCatchesSemanticBreakImmediately) {
+  auto g = simple_vector_sdfg();
+  std::string before = g->dump();
+  xf::Pipeline pipe("test");
+  pipe.set_verify(true);
+  pipe.add("inject-race", inject_race);
+  xf::PassReport report = pipe.run_transactional(*g);
+  ASSERT_EQ(report.outcomes.size(), 1u);
+  EXPECT_TRUE(report.outcomes[0].rolled_back);
+  EXPECT_FALSE(report.bisected);  // no bisection needed: caught at commit
+  EXPECT_NE(report.outcomes[0].error.find("semantic"), std::string::npos);
+  EXPECT_EQ(g->dump(), before);
+}
+
+TEST(AutoOptimize, BrokenPassNamedWhileResultStaysCorrect) {
+  EnvGuard bisect("DACE_XF_BISECT", "1");
+  constexpr const char* src = R"(
+@dace.program
+def f(A: dace.float64[N], B: dace.float64[N]):
+    B[:] = A[:] * 2.0 + 1.0
+)";
+  auto base = compile_to_sdfg(src);
+  auto opt = base->clone();
+  xf::PassReport report;
+  xf::AutoOptOptions opts;
+  opts.extra_passes.push_back({"inject-race", inject_race});
+  opts.report = &report;
+  xf::auto_optimize(*opt, ir::DeviceType::CPU, opts);
+  // The sabotaged pass is named in the report...
+  EXPECT_EQ(report.first_broken_pass, "inject-race");
+  // ...while auto_optimize still returns a verified, runnable graph.
+  EXPECT_NO_THROW(opt->validate());
+  expect_equivalent(*base, *opt, {{"A", {25}}, {"B", {25}}}, {{"N", 25}},
+                    {"B"});
+}
+
+TEST(TransactionalPipeline, InvalidInputGraphReportedNotThrown) {
+  auto g = simple_vector_sdfg();
+  g->set_start_state(99);
+  xf::Pipeline pipe("test");
+  pipe.add("never-runs", [](ir::SDFG&) { return true; });
+  xf::PassReport report;
+  EXPECT_NO_THROW(report = pipe.run_transactional(*g));
+  EXPECT_EQ(report.first_broken_pass, "<input>");
+  EXPECT_FALSE(report.all_committed());
 }
 
 }  // namespace

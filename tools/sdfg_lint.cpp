@@ -4,18 +4,23 @@
 // interstate def-use) over graphs stored on disk, without executing them.
 //
 // Usage:
-//   sdfg-lint [--werror] FILE...
+//   sdfg-lint [--werror] [--json] FILE...
 //   sdfg-lint --emit-sample=race|clean
 //   sdfg-lint --selftest
 //
 // Each FILE is either an SDFG serialization produced by SDFG::save()
 // (detected by a leading '(') or a DaCeLang source, which is compiled
-// through the frontend first.  --werror also fails on warnings.
-// --emit-sample prints a serialized example graph (racy or clean) for
-// experimentation; --selftest round-trips both samples through the
-// serializer and checks the analyzer classifies them correctly.
+// through the frontend first.  All findings are structured diagnostics
+// (common/diag.hpp) with stable codes: frontend/loader errors keep their
+// E1xx-E4xx codes (with source-line carets for DaCeLang inputs), and the
+// analyses report A101 (race), A102 (bounds), A103 (def-use).  --json
+// emits one machine-readable report per file.  --werror also fails on
+// warnings.  --emit-sample prints a serialized example graph (racy or
+// clean); --selftest round-trips both samples through the serializer and
+// checks the analyzer classifies them correctly.
 //
-// Exit codes: 0 = clean, 1 = findings, 2 = load/usage failure.
+// Exit codes: 0 = clean, 1 = findings, 2 = parse/load failure,
+// 64 = usage error.
 #include <cctype>
 #include <fstream>
 #include <iostream>
@@ -25,6 +30,7 @@
 #include <vector>
 
 #include "analysis/analysis.hpp"
+#include "common/diag.hpp"
 #include "frontend/lowering.hpp"
 #include "ir/sdfg.hpp"
 
@@ -32,6 +38,7 @@ namespace {
 
 using dace::analysis::AnalysisReport;
 using namespace dace::ir;
+namespace diag = dace::diag;
 
 /// A one-state, one-map SDFG: every iteration writes A[0] (racy) or A[i]
 /// (clean).  The racy variant is the canonical write-conflict the race
@@ -59,13 +66,44 @@ std::unique_ptr<SDFG> build_sample(bool racy) {
   return g;
 }
 
+/// Stable machine code of an analysis finding.
+const char* analysis_code(const std::string& analysis) {
+  if (analysis == "race") return "A101";
+  if (analysis == "bounds") return "A102";
+  if (analysis == "defuse") return "A103";
+  return "A100";
+}
+
+/// Convert the analyzer's findings into structured diagnostics.  SDFGs
+/// have no source lines, so the location is carried in notes.
+void report_analysis(const AnalysisReport& report, diag::DiagSink& sink) {
+  for (const auto& d : report.diagnostics()) {
+    diag::Diagnostic out;
+    out.code = analysis_code(d.analysis);
+    out.severity = d.severity == dace::analysis::Severity::Error
+                       ? diag::Severity::Error
+                       : diag::Severity::Warning;
+    out.message = "[" + d.analysis + "] " + d.message;
+    std::string where = "in sdfg '" + d.sdfg + "'";
+    if (d.state >= 0) where += ", state " + std::to_string(d.state);
+    if (d.node >= 0) where += ", node " + std::to_string(d.node);
+    out.notes.push_back(where);
+    if (!d.container.empty()) out.notes.push_back("container '" + d.container + "'");
+    if (!d.memlet.empty()) out.notes.push_back("memlet " + d.memlet);
+    if (!d.hint.empty()) out.notes.push_back("hint: " + d.hint);
+    sink.report(std::move(out));
+  }
+}
+
 /// Load a graph from file contents: serialized SDFGs start with '(';
-/// anything else is treated as DaCeLang source.
-std::unique_ptr<SDFG> load_any(const std::string& text) {
+/// anything else is treated as DaCeLang source.  Failures land in `sink`
+/// as located diagnostics; returns nullptr.
+std::unique_ptr<SDFG> load_any(const std::string& text,
+                               diag::DiagSink& sink) {
   size_t i = 0;
   while (i < text.size() && std::isspace((unsigned char)text[i])) ++i;
-  if (i < text.size() && text[i] == '(') return load_sdfg(text);
-  return dace::fe::compile_to_sdfg(text);
+  if (i < text.size() && text[i] == '(') return load_sdfg(text, sink);
+  return dace::fe::compile_to_sdfg(text, sink);
 }
 
 int selftest() {
@@ -85,6 +123,22 @@ int selftest() {
                 << report.to_string();
       return 2;
     }
+    // The structured rendering must carry the stable code.
+    diag::DiagSink sink;
+    report_analysis(report, sink);
+    if (racy && sink.render().find("A101") == std::string::npos) {
+      std::cerr << "selftest: race finding lost its A101 code:\n"
+                << sink.render();
+      return 2;
+    }
+    // Malformed input must produce a located E4xx diagnostic, not a
+    // crash or an unlocated throw.
+    diag::DiagSink bad;
+    if (load_sdfg("(sdfg \"x\" (array", bad) != nullptr ||
+        !bad.has_errors() || bad.diagnostics()[0].code.rfind("E4", 0) != 0) {
+      std::cerr << "selftest: truncated input not diagnosed with E4xx\n";
+      return 2;
+    }
   }
   std::cout << "selftest: ok\n";
   return 0;
@@ -94,39 +148,49 @@ int selftest() {
 
 int main(int argc, char** argv) {
   bool werror = false;
+  bool json = false;
   std::vector<std::string> files;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--werror") {
       werror = true;
+    } else if (arg == "--json") {
+      json = true;
     } else if (arg == "--selftest") {
       return selftest();
     } else if (arg.rfind("--emit-sample=", 0) == 0) {
       std::string kind = arg.substr(14);
       if (kind != "race" && kind != "clean") {
         std::cerr << "sdfg-lint: unknown sample '" << kind << "'\n";
-        return 2;
+        return 64;
       }
       std::cout << build_sample(kind == "race")->save();
       return 0;
     } else if (arg == "--help" || arg == "-h") {
-      std::cout << "usage: sdfg-lint [--werror] FILE...\n"
+      std::cout << "usage: sdfg-lint [--werror] [--json] FILE...\n"
                 << "       sdfg-lint --emit-sample=race|clean\n"
-                << "       sdfg-lint --selftest\n";
+                << "       sdfg-lint --selftest\n"
+                << "exit codes: 0 clean, 1 findings, 2 parse failure, "
+                   "64 usage\n";
       return 0;
     } else if (arg.rfind("-", 0) == 0) {
       std::cerr << "sdfg-lint: unknown option '" << arg << "'\n";
-      return 2;
+      return 64;
     } else {
       files.push_back(arg);
     }
   }
   if (files.empty()) {
     std::cerr << "sdfg-lint: no input files (try --help)\n";
-    return 2;
+    return 64;
   }
 
   bool findings = false;
+  bool parse_failure = false;
+  std::ostringstream json_out;
+  json_out << "[";
+  bool first_json = true;
+
   for (const auto& path : files) {
     std::ifstream in(path);
     if (!in) {
@@ -136,21 +200,38 @@ int main(int argc, char** argv) {
     std::ostringstream buf;
     buf << in.rdbuf();
 
-    std::unique_ptr<SDFG> g;
-    try {
-      g = load_any(buf.str());
-      g->validate();
-    } catch (const std::exception& e) {
-      std::cerr << path << ": " << e.what() << "\n";
-      return 2;
+    diag::DiagSink sink;
+    sink.set_source(path, buf.str());
+
+    std::unique_ptr<SDFG> g = load_any(buf.str(), sink);
+    if (g) {
+      try {
+        g->validate();
+      } catch (const dace::Error& e) {
+        sink.error("E410", 0, 0,
+                   std::string("graph failed validation: ") + e.what());
+        g.reset();
+      }
+    }
+    if (!g) {
+      parse_failure = true;
+    } else {
+      report_analysis(dace::analysis::analyze(*g), sink);
     }
 
-    AnalysisReport report = dace::analysis::analyze(*g);
-    if (!report.empty()) {
-      std::cout << path << " (sdfg '" << g->name() << "'):\n"
-                << report.to_string();
+    if (json) {
+      if (!first_json) json_out << ",";
+      first_json = false;
+      json_out << sink.to_json();
+    } else if (!sink.empty()) {
+      std::cout << sink.render();
     }
-    if (report.has_errors() || (werror && !report.empty())) findings = true;
+    if (sink.has_errors() || (werror && !sink.empty())) findings = true;
   }
+  if (json) {
+    json_out << "]";
+    std::cout << json_out.str() << "\n";
+  }
+  if (parse_failure) return 2;
   return findings ? 1 : 0;
 }
