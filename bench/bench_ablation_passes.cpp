@@ -41,6 +41,7 @@ void run_kernel(const char* kname) {
     xf::auto_optimize(*sdfg, ir::DeviceType::CPU, v.opts);
     rt::Executor ex(*sdfg);
     auto t = bench::time_median(
+        std::string("ablation.") + kname + "." + v.name,
         [&] {
           rt::Bindings b = k.init(sizes);
           ex.run(b, sizes);

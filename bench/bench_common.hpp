@@ -1,15 +1,27 @@
 // Shared benchmark utilities: median-of-N timing with a nonparametric
 // confidence interval (the paper reports medians of 10 runs with 95%
 // nonparametric CIs, Section 3.4.1) and table formatting.
+//
+// Timing runs on the obs:: monotonic clock (common/obs.hpp), so bench
+// spans land on the same timeline as runtime/JIT/pass spans when tracing
+// is enabled (DACE_TRACE_FILE=...).  Every *named* timing additionally
+// lands in a machine-readable JSON report written at process exit:
+// BENCH_5.json in the working directory, or $BENCH_JSON when set.  Keys
+// are the timing names, values are median nanoseconds.
 #pragma once
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <functional>
+#include <mutex>
 #include <string>
+#include <utility>
 #include <vector>
+
+#include "common/diag.hpp"
+#include "common/obs.hpp"
 
 namespace bench {
 
@@ -19,13 +31,61 @@ struct Timing {
   int reps = 0;
 };
 
+/// Accumulates named timings and writes them as JSON at exit
+/// ({"name": median_ns, ...}); tools and CI diff these across runs.
+class JsonReport {
+ public:
+  static JsonReport& global() {
+    // Leaked so the atexit writer can run at any point in shutdown.
+    static JsonReport* r = new JsonReport();
+    return *r;
+  }
+
+  void record(const std::string& name, double median_ns) {
+    std::lock_guard<std::mutex> lk(mu_);
+    for (auto& e : entries_) {
+      if (e.first == name) {
+        e.second = median_ns;  // re-measured: last result wins
+        return;
+      }
+    }
+    entries_.emplace_back(name, median_ns);
+  }
+
+  void write() {
+    const char* env = std::getenv("BENCH_JSON");
+    std::string path = env && *env ? env : "BENCH_5.json";
+    std::lock_guard<std::mutex> lk(mu_);
+    if (entries_.empty()) return;
+    FILE* f = std::fopen(path.c_str(), "w");
+    if (!f) return;
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      std::fprintf(f, "  \"%s\": %.1f%s\n",
+                   dace::diag::json_escape(entries_[i].first).c_str(),
+                   entries_[i].second,
+                   i + 1 < entries_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::fprintf(stderr, "bench: wrote %zu timings to %s\n", entries_.size(),
+                 path.c_str());
+  }
+
+ private:
+  JsonReport() { std::atexit(&JsonReport::write_at_exit); }
+  static void write_at_exit() { global().write(); }
+
+  std::mutex mu_;
+  std::vector<std::pair<std::string, double>> entries_;
+};
+
 inline Timing time_median(const std::function<void()>& fn, int reps = 5) {
   std::vector<double> ts;
   for (int i = 0; i < reps; ++i) {
-    auto t0 = std::chrono::steady_clock::now();
+    int64_t t0 = dace::obs::now_ns();
     fn();
-    auto t1 = std::chrono::steady_clock::now();
-    ts.push_back(std::chrono::duration<double>(t1 - t0).count());
+    ts.push_back((double)(dace::obs::now_ns() - t0) / 1e9);
   }
   std::sort(ts.begin(), ts.end());
   Timing t;
@@ -33,6 +93,16 @@ inline Timing time_median(const std::function<void()>& fn, int reps = 5) {
   t.median_s = ts[ts.size() / 2];
   t.ci_low = ts.front();
   t.ci_high = ts.back();
+  return t;
+}
+
+/// Named timing: recorded into the JSON report and, when tracing is on,
+/// covered by a "bench" span on the host timeline.
+inline Timing time_median(const std::string& name,
+                          const std::function<void()>& fn, int reps = 5) {
+  dace::obs::Span span("bench", name);
+  Timing t = time_median(fn, reps);
+  JsonReport::global().record(name, t.median_s * 1e9);
   return t;
 }
 

@@ -31,7 +31,7 @@ int main() {
                      ir::DeviceType::FPGA}) {
       if (dev == ir::DeviceType::GPU && !k.gpu) continue;
       if (dev == ir::DeviceType::FPGA && !k.fpga) continue;
-      auto t0 = std::chrono::steady_clock::now();
+      int64_t t0 = obs::now_ns();
       auto sdfg = fe::compile_to_sdfg(k.source);
       xf::auto_optimize(*sdfg, dev);
       double host_compile = 0;
@@ -48,9 +48,10 @@ int main() {
           (void)cg::generate(*sdfg, cg::Flavor::HLS);
           break;
       }
-      auto t1 = std::chrono::steady_clock::now();
-      double total = std::chrono::duration<double>(t1 - t0).count();
+      double total = (double)(obs::now_ns() - t0) / 1e9;
       (void)host_compile;
+      bench::JsonReport::global().record(
+          "fig6." + k.name + "." + ir::device_name(dev), total * 1e9);
       dist[ir::device_name(dev)].push_back({k.name, total});
     }
   }

@@ -36,6 +36,7 @@ int main() {
     fe::Module mod = fe::parse(k.source);
     rt::EagerInterpreter eager(mod.functions[0]);
     auto t_numpy = bench::time_median(
+        "fig7." + k.name + ".numpy",
         [&] {
           rt::Bindings b = k.init(sizes);
           eager.run(b, sizes);
@@ -45,6 +46,7 @@ int main() {
     auto o0 = fe::compile_to_sdfg(k.source);
     rt::Executor ex0(*o0);
     auto t_o0 = bench::time_median(
+        "fig7." + k.name + ".o0",
         [&] {
           rt::Bindings b = k.init(sizes);
           ex0.run(b, sizes);
@@ -56,6 +58,7 @@ int main() {
     cg::CompiledProgram prog = cg::compile(*opt);
     rt::Executor exo(*opt);
     auto t_dace = bench::time_median(
+        "fig7." + k.name + ".dace",
         [&] {
           rt::Bindings b = k.init(sizes);
           if (prog.valid()) {
@@ -73,6 +76,7 @@ int main() {
         reps);
 
     auto t_ref = bench::time_median(
+        "fig7." + k.name + ".cppref",
         [&] {
           rt::Bindings b = k.init(sizes);
           k.reference(b, sizes);
@@ -84,6 +88,7 @@ int main() {
     rt::Executor ext0(*opt);
     unsetenv("DACEPP_JIT");
     auto t_t0 = bench::time_median(
+        "fig7." + k.name + ".vm_t0",
         [&] {
           rt::Bindings b = k.init(sizes);
           ext0.run(b, sizes);
@@ -103,6 +108,7 @@ int main() {
     }
     bool native = ext1.native_launches() > 0;
     auto t_t1 = bench::time_median(
+        "fig7." + k.name + ".jit_t1",
         [&] {
           rt::Bindings b = k.init(sizes);
           ext1.run(b, sizes);

@@ -7,6 +7,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/obs.hpp"
+
 namespace dace::dist {
 
 namespace {
@@ -17,6 +19,20 @@ SteadyClock::time_point deadline_from(double seconds) {
   return SteadyClock::now() +
          std::chrono::duration_cast<SteadyClock::duration>(
              std::chrono::duration<double>(seconds));
+}
+
+// Injected fault as an instant on the rank's virtual timeline (pid 1,
+// tid = rank, ts = modeled clock).  Emission order per rank follows the
+// rank thread's program order, so traces of a seeded chaos run are
+// deterministic.
+void obs_fault(const FaultEvent& e) {
+  if (!obs::enabled() || !obs::rank_traced(e.rank)) return;
+  std::ostringstream a;
+  a << "{\"peer\":" << e.peer << ",\"tag\":" << e.tag
+    << ",\"bytes\":" << e.bytes << ",\"seq\":" << e.seq
+    << ",\"attempt\":" << e.attempt << "}";
+  obs::instant_at("fault", fault_kind_name(e.kind), e.vtime * 1e6, 1, e.rank,
+                  a.str());
 }
 
 }  // namespace
@@ -208,6 +224,16 @@ void Comm::on_comm_op(const char* op, int peer, int tag, int64_t n,
     }
     world_.trace_line(os.str());
   }
+  if (obs::enabled() && obs::rank_traced(rank_)) {
+    std::ostringstream a;
+    if (peer >= 0) {
+      a << "{\"peer\":" << peer << ",\"tag\":" << tag << ",\"n\":" << n
+        << "}";
+    } else {
+      a << "{\"n\":" << n << ",\"root\":" << root << "}";
+    }
+    obs::instant_at("comm", op, clock() * 1e6, 1, rank_, a.str());
+  }
   int64_t idx = op_index_++;
   const FaultPlan& fp = world_.fault_plan_;
   if (!fp.active()) return;
@@ -221,6 +247,7 @@ void Comm::on_comm_op(const char* op, int peer, int tag, int64_t n,
   e.seq = (uint64_t)idx;
   e.vtime = clock();
   world_.record_event(e);
+  obs_fault(e);
   if (k == FaultKind::Stall) {
     // The rank goes silent for stall_s wall seconds: peers whose deadline
     // is shorter observe a CommTimeout naming this rank.
@@ -269,11 +296,21 @@ void Comm::send_vector(const double* buf, int64_t count, int64_t block,
                         ? fp.decide_message(rank_, dst, tag, seq, attempt)
                         : FaultKind::None;
       if (k == FaultKind::Drop) {
-        world_.events_.push_back(FaultEvent{FaultKind::Drop, rank_, dst, tag,
-                                            bytes, seq, attempt, my_clock});
+        FaultEvent ev{FaultKind::Drop, rank_, dst, tag,
+                      bytes, seq, attempt, my_clock};
+        world_.events_.push_back(ev);
+        obs_fault(ev);
         if (attempt < cc.max_retries) {
           ++world_.total_retries_;
           backoff += cc.backoff_s * (double)(1LL << attempt);
+          if (obs::enabled() && obs::rank_traced(rank_)) {
+            std::ostringstream a;
+            a << "{\"peer\":" << dst << ",\"tag\":" << tag
+              << ",\"attempt\":" << attempt << ",\"backoff_s\":" << backoff
+              << "}";
+            obs::instant_at("comm", "retransmit", (my_clock + backoff) * 1e6,
+                            1, rank_, a.str());
+          }
         }
         continue;
       }
@@ -282,8 +319,10 @@ void Comm::send_vector(const double* buf, int64_t count, int64_t block,
       msg.arrival = my_clock + backoff + world_.net_.p2p(bytes);
       if (k == FaultKind::Delay) {
         msg.arrival += fp.delay_s;
-        world_.events_.push_back(FaultEvent{FaultKind::Delay, rank_, dst, tag,
-                                            bytes, seq, attempt, my_clock});
+        FaultEvent ev{FaultKind::Delay, rank_, dst, tag,
+                      bytes, seq, attempt, my_clock};
+        world_.events_.push_back(ev);
+        obs_fault(ev);
       }
       if (k == FaultKind::Duplicate) {
         World::Message dup;
@@ -293,18 +332,20 @@ void Comm::send_vector(const double* buf, int64_t count, int64_t block,
         msg.data = std::move(payload);
         q.push_back(std::move(msg));
         q.push_back(std::move(dup));
-        world_.events_.push_back(FaultEvent{FaultKind::Duplicate, rank_, dst,
-                                            tag, bytes, seq, attempt,
-                                            my_clock});
+        FaultEvent ev{FaultKind::Duplicate, rank_, dst,
+                      tag, bytes, seq, attempt, my_clock};
+        world_.events_.push_back(ev);
+        obs_fault(ev);
       } else {
         msg.data = std::move(payload);
         q.push_back(std::move(msg));
       }
       if (k == FaultKind::Reorder && q.size() >= 2) {
         std::swap(q[q.size() - 1], q[q.size() - 2]);
-        world_.events_.push_back(FaultEvent{FaultKind::Reorder, rank_, dst,
-                                            tag, bytes, seq, attempt,
-                                            my_clock});
+        FaultEvent ev{FaultKind::Reorder, rank_, dst,
+                      tag, bytes, seq, attempt, my_clock};
+        world_.events_.push_back(ev);
+        obs_fault(ev);
       }
       delivered = true;
       break;

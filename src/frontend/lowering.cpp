@@ -4,6 +4,7 @@
 #include <functional>
 
 #include "common/diag.hpp"
+#include "common/obs.hpp"
 #include "frontend/parser.hpp"
 #include "runtime/tensor_ops.hpp"
 
@@ -1578,7 +1579,10 @@ std::unique_ptr<ir::SDFG> lower_to_sdfg(const Function& f,
 std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
                                           diag::DiagSink& sink,
                                           const std::string& name) {
-  Module m = parse(source, sink);
+  Module m = [&] {
+    OBS_SPAN("frontend", "parse");
+    return parse(source, sink);
+  }();
   if (m.functions.empty()) {
     if (!sink.has_errors())
       sink.error("E212", 0, 0, "no functions in module");
@@ -1592,6 +1596,9 @@ std::unique_ptr<ir::SDFG> compile_to_sdfg(const std::string& source,
   std::unique_ptr<ir::SDFG> result;
   const std::string want = name.empty() ? m.functions.back().name : name;
   for (const auto& f : m.functions) {
+    obs::Span lspan("frontend", "lower");
+    if (lspan.active())
+      lspan.set_args("{\"function\":\"" + diag::json_escape(f.name) + "\"}");
     std::unique_ptr<ir::SDFG> sdfg;
     try {
       sdfg = Lowerer(f, &known, &sink).run();

@@ -11,6 +11,7 @@ std::unique_ptr<Node> NestedSDFGNode::clone() const {
   n->in_connectors = in_connectors;
   n->out_connectors = out_connectors;
   n->symbol_mapping = symbol_mapping;
+  n->instrument = instrument;
   return n;
 }
 
@@ -303,6 +304,7 @@ std::unique_ptr<SDFG> SDFG::clone() const {
       continue;
     }
     auto ns = std::make_unique<State>(sp->label());
+    ns->instrument = sp->instrument;
     ns->nodes_.reserve(sp->nodes_.size());
     for (const auto& np : sp->nodes_) {
       ns->nodes_.push_back(np ? np->clone() : nullptr);

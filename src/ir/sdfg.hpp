@@ -92,6 +92,10 @@ enum class NodeKind { Access, Tasklet, MapEntry, MapExit, Library, NestedSDFG };
 
 struct Node {
   NodeKind kind;
+  /// Per-node instrumentation (paper-style InstrumentationType attribute);
+  /// honored by the executor, Tier-0 VM and Tier-1 native dispatch.  Not
+  /// serialized: a measurement setting, not program semantics.
+  Instrument instrument = Instrument::Off;
   explicit Node(NodeKind k) : kind(k) {}
   virtual ~Node() = default;
   virtual std::unique_ptr<Node> clone() const = 0;
@@ -104,7 +108,9 @@ struct AccessNode final : Node {
   explicit AccessNode(std::string d)
       : Node(NodeKind::Access), data(std::move(d)) {}
   std::unique_ptr<Node> clone() const override {
-    return std::make_unique<AccessNode>(data);
+    auto a = std::make_unique<AccessNode>(data);
+    a->instrument = instrument;
+    return a;
   }
   std::string label() const override { return data; }
 };
@@ -124,6 +130,7 @@ struct Tasklet final : Node {
   std::unique_ptr<Node> clone() const override {
     auto t = std::make_unique<Tasklet>(name, inputs, code);
     t->output = output;
+    t->instrument = instrument;
     return t;
   }
   std::string label() const override { return name; }
@@ -150,6 +157,7 @@ struct MapEntry final : Node {
     m->schedule = schedule;
     m->omp_collapse = omp_collapse;
     m->exit_node = exit_node;
+    m->instrument = instrument;
     return m;
   }
   std::string label() const override;
@@ -161,6 +169,7 @@ struct MapExit final : Node {
   std::unique_ptr<Node> clone() const override {
     auto m = std::make_unique<MapExit>();
     m->entry_node = entry_node;
+    m->instrument = instrument;
     return m;
   }
   std::string label() const override { return "map_exit"; }
@@ -182,6 +191,7 @@ struct LibraryNode final : Node {
     l->implementation = implementation;
     l->attrs = attrs;
     l->sym_attrs = sym_attrs;
+    l->instrument = instrument;
     return l;
   }
   std::string label() const override { return op; }
@@ -220,6 +230,11 @@ class State {
 
   const std::string& label() const { return label_; }
   void set_label(std::string l) { label_ = std::move(l); }
+
+  /// State-level instrumentation: Timer wraps the whole state execution in
+  /// one span.  Only honored when set explicitly (the DACE_INSTRUMENT
+  /// process default applies to launch-granularity nodes, not states).
+  Instrument instrument = Instrument::Off;
 
   // -- node management ------------------------------------------------------
   int add_node(std::unique_ptr<Node> n);

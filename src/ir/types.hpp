@@ -112,6 +112,23 @@ inline const char* wcr_name(WCR w) {
   return "?";
 }
 
+/// Per-node instrumentation (the paper's InstrumentationType attribute):
+/// how the runtime measures this map/tasklet/state/library node.
+///   Off     -- not instrumented (a process-wide default can still apply,
+///              see DACE_INSTRUMENT in docs/OBSERVABILITY.md)
+///   Timer   -- wall-clock span per execution (self/total time)
+///   Counter -- iteration counter track instead of spans
+enum class Instrument { Off, Timer, Counter };
+
+inline const char* instrument_name(Instrument i) {
+  switch (i) {
+    case Instrument::Off: return "Off";
+    case Instrument::Timer: return "Timer";
+    case Instrument::Counter: return "Counter";
+  }
+  return "?";
+}
+
 /// Device targets of the auto-optimizer (Section 3.1).
 enum class DeviceType { CPU, GPU, FPGA };
 

@@ -1,8 +1,11 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <sstream>
 
 #include "analysis/analysis.hpp"
+#include "common/diag.hpp"
+#include "common/obs.hpp"
 #include "runtime/bytecode_opt.hpp"
 #include "runtime/tensor_ops.hpp"
 #include "runtime/thread_pool.hpp"
@@ -42,6 +45,7 @@ const LibraryHandler* LibraryRegistry::find(const std::string& op) const {
 Executor::Executor(const ir::SDFG& sdfg, ExecutorOptions opts)
     : sdfg_(sdfg),
       opts_(opts),
+      inst_(std::make_unique<Instrumenter>(sdfg)),
       tier_cfg_(TierConfig::from_env()),
       bc_opt_(bytecode_opt_enabled()) {}
 
@@ -141,7 +145,19 @@ void Executor::run(Bindings& args, const sym::SymbolMap& symbols) {
   int64_t steps = 0;
   const int64_t kMaxSteps = 100000000;
   while (cur >= 0) {
-    execute_state(sdfg_.state(cur));
+    const ir::State& st = sdfg_.state(cur);
+    // States are instrumented only via their explicit attribute; the
+    // DACE_INSTRUMENT default applies at launch granularity.
+    if (st.instrument != ir::Instrument::Off) {
+      VMStats before = stats_;
+      int64_t t0 = obs::now_ns();
+      execute_state(st);
+      VMStats d = stats_delta(before);
+      inst_->record("state", cur, -1, st.label(), st.instrument, t0,
+                    obs::now_ns() - t0, 0, 1, &d);
+    } else {
+      execute_state(st);
+    }
     DACE_CHECK(++steps < kMaxSteps, "executor: state machine did not halt");
     int next = -1;
     for (size_t ei : sdfg_.out_interstate(cur)) {
@@ -164,12 +180,17 @@ void Executor::run(Bindings& args, const sym::SymbolMap& symbols) {
 
 void Executor::notify_launch(const std::string& kind, const VMStats& before) {
   if (!opts_.launch_hook) return;
+  opts_.launch_hook(kind, stats_delta(before));
+}
+
+VMStats Executor::stats_delta(const VMStats& before) const {
   VMStats d;
   d.flops = stats_.flops - before.flops;
   d.loads = stats_.loads - before.loads;
   d.stores = stats_.stores - before.stores;
   d.wcr_stores = stats_.wcr_stores - before.wcr_stores;
-  opts_.launch_hook(kind, d);
+  d.instrs = stats_.instrs - before.instrs;
+  return d;
 }
 
 void Executor::execute_state(const ir::State& st) {
@@ -189,22 +210,53 @@ void Executor::execute_state(const ir::State& st) {
         break;
       case ir::NodeKind::Tasklet: {
         VMStats before = stats_;
+        ir::Instrument im =
+            inst_->active() ? inst_->effective(*n) : ir::Instrument::Off;
+        int64_t t0 = im != ir::Instrument::Off ? obs::now_ns() : 0;
         execute_tasklet(st, id);
         notify_launch("tasklet", before);
+        if (im != ir::Instrument::Off) {
+          VMStats d = stats_delta(before);
+          inst_->record("tasklet", sdfg_.state_id(&st), id,
+                        static_cast<const ir::Tasklet*>(n)->name, im, t0,
+                        obs::now_ns() - t0, 0, 1, &d);
+        }
         break;
       }
       case ir::NodeKind::MapEntry: {
         VMStats before = stats_;
-        execute_map(st, id);
+        ir::Instrument im =
+            inst_->active() ? inst_->effective(*n) : ir::Instrument::Off;
+        int64_t t0 = im != ir::Instrument::Off ? obs::now_ns() : 0;
+        int tier = 0;
+        int64_t iters = 0;
+        execute_map(st, id, &tier, &iters);
         notify_launch("map", before);
+        if (im != ir::Instrument::Off) {
+          // Tier-1 runs produce no VMStats; only attach the delta when the
+          // VM interpreted the map, so instrs/iter stays meaningful.
+          VMStats d = stats_delta(before);
+          inst_->record("map", sdfg_.state_id(&st), id,
+                        static_cast<const ir::MapEntry*>(n)->name, im, t0,
+                        obs::now_ns() - t0, tier, iters,
+                        tier == 0 ? &d : nullptr);
+        }
         break;
       }
       case ir::NodeKind::MapExit:
         break;
       case ir::NodeKind::Library: {
         VMStats before = stats_;
+        ir::Instrument im =
+            inst_->active() ? inst_->effective(*n) : ir::Instrument::Off;
+        int64_t t0 = im != ir::Instrument::Off ? obs::now_ns() : 0;
         execute_library(st, id);
         notify_launch("library", before);
+        if (im != ir::Instrument::Off) {
+          VMStats d = stats_delta(before);
+          inst_->record("library", sdfg_.state_id(&st), id, n->label(), im,
+                        t0, obs::now_ns() - t0, 0, 1, &d);
+        }
         break;
       }
       case ir::NodeKind::NestedSDFG:
@@ -236,16 +288,27 @@ void Executor::execute_tasklet(const ir::State& st, int node) {
   }
 }
 
-void Executor::execute_map(const ir::State& st, int node) {
+void Executor::execute_map(const ir::State& st, int node, int* tier_used,
+                           int64_t* iters_out) {
+  *tier_used = 0;
+  *iters_out = 0;
   const auto* me = st.node_as<const ir::MapEntry>(node);
   int sid = sdfg_.state_id(&st);
   auto key = std::make_pair(sid, node);
   auto it = programs_.find(key);
   if (it == programs_.end()) {
+    int64_t c0 = obs::enabled() ? obs::now_ns() : 0;
     TieredProgram tp;
     tp.prog = compile_map_scope(sdfg_, st, node);
     if (bc_opt_) optimize_program(tp.prog);
     it = programs_.emplace(key, std::move(tp)).first;
+    if (obs::enabled()) {
+      std::ostringstream a;
+      a << "{\"map\":\"" << diag::json_escape(me->name)
+        << "\",\"instructions\":" << it->second.prog.code.size() << "}";
+      obs::complete("executor", "compile-map", c0, obs::now_ns() - c0,
+                    a.str());
+    }
   }
   TieredProgram& tp = it->second;
   const Program& prog = tp.prog;
@@ -272,6 +335,7 @@ void Executor::execute_map(const ir::State& st, int node) {
   int64_t begin = eval(r0.begin), end = eval(r0.end), step = eval(r0.step);
   int64_t iters = step > 0 ? (end - begin + step - 1) / step : 0;
   if (iters <= 0) return;
+  *iters_out = iters;
 
   bool parallel = opts_.parallel &&
                   (me->schedule == ir::Schedule::CPUParallel ||
@@ -289,6 +353,12 @@ void Executor::execute_map(const ir::State& st, int node) {
       for (size_t i = 0; i < arrays.size(); ++i) dtypes[i] = arrays[i].dtype;
       tp.native = request_native(prog, dtypes, tier_cfg_);
       ++native_promotions_;
+      if (obs::enabled()) {
+        std::ostringstream a;
+        a << "{\"map\":\"" << diag::json_escape(me->name)
+          << "\",\"iterations\":" << tp.iterations << "}";
+        obs::instant("tier", "promote", a.str());
+      }
     }
   }
   if (jit_ok && tp.native) {
@@ -302,6 +372,7 @@ void Executor::execute_map(const ir::State& st, int node) {
       std::vector<double*> bases(arrays.size());
       for (size_t i = 0; i < arrays.size(); ++i) bases[i] = arrays[i].base;
       ++native_launches_;
+      *tier_used = 1;
       if (!parallel) {
         if (prog.splittable) {
           fn(bases.data(), symvals.data(), begin, end);

@@ -16,6 +16,7 @@
 
 #include "ir/sdfg.hpp"
 #include "runtime/bytecode.hpp"
+#include "runtime/instrumentation.hpp"
 #include "runtime/tensor.hpp"
 #include "runtime/tiering.hpp"
 
@@ -93,15 +94,24 @@ class Executor {
 
   const ExecutorOptions& options() const { return opts_; }
 
+  /// Per-node instrumentation observer (paper-style InstrumentationType).
+  /// Non-intrusive: measuring never affects tiering decisions, unlike
+  /// launch_hook (which pins maps to Tier 0 for the device cost models).
+  const Instrumenter& instrumentation() const { return *inst_; }
+
   /// Opaque per-rank communication context used by distributed handlers.
   void* comm_context = nullptr;
 
  private:
   void allocate_transients();
   void notify_launch(const std::string& kind, const VMStats& before);
+  VMStats stats_delta(const VMStats& before) const;
   void execute_state(const ir::State& st);
   void execute_tasklet(const ir::State& st, int node);
-  void execute_map(const ir::State& st, int node);
+  /// `tier_used`/`iters_out` report which tier dispatched the map and how
+  /// many outer iterations it ran (instrumentation bookkeeping).
+  void execute_map(const ir::State& st, int node, int* tier_used,
+                   int64_t* iters_out);
   void execute_library(const ir::State& st, int node);
   void execute_nested(const ir::State& st, int node);
 
@@ -124,6 +134,7 @@ class Executor {
   // Child executors for nested SDFG nodes.
   std::map<std::pair<int, int>, std::unique_ptr<Executor>> children_;
   VMStats stats_;
+  std::unique_ptr<Instrumenter> inst_;
   TierConfig tier_cfg_;
   bool bc_opt_ = true;
   int64_t map_launches_ = 0;

@@ -5,8 +5,11 @@
 #include <map>
 #include <mutex>
 #include <set>
+#include <sstream>
 #include <thread>
 #include <tuple>
+
+#include "common/obs.hpp"
 
 namespace dace::rt {
 
@@ -39,8 +42,15 @@ void compile_into(std::shared_ptr<NativeProgram> native, Program prog,
   char name[32];
   snprintf(name, sizeof(name), "dacepp_map_%016llx",
            (unsigned long long)prog.hash());
+  obs::Span span("jit", "compile");
   cg::CompiledMapNative built =
       cg::compile_map_native(prog, dtypes, name, compiler);
+  if (span.active()) {
+    std::ostringstream a;
+    a << "{\"program\":\"" << name
+      << "\",\"ok\":" << (built.valid() ? "true" : "false") << "}";
+    span.set_args(a.str());
+  }
   if (built.valid()) {
     native->fn = built.fn();
     native->compile_seconds = built.compile_seconds();
@@ -85,7 +95,10 @@ std::shared_ptr<NativeProgram> request_native(
   {
     std::lock_guard<std::mutex> lock(c.mu);
     auto it = c.entries.find(key);
-    if (it != c.entries.end()) return it->second;
+    if (it != c.entries.end()) {
+      OBS_INSTANT("jit", "cache-hit");
+      return it->second;
+    }
     if (c.failed.count({prog.hash(), cfg.compiler})) {
       // Negative-cache hit: a build of this program already failed under
       // this compiler.  Hand back an immediately-failed handle without
@@ -93,6 +106,7 @@ std::shared_ptr<NativeProgram> request_native(
       auto dead = std::make_shared<NativeProgram>();
       dead->state.store(NativeProgram::kFailed, std::memory_order_release);
       c.entries.emplace(key, dead);
+      OBS_INSTANT("jit", "negative-cache-hit");
       return dead;
     }
   }

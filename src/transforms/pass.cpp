@@ -1,12 +1,16 @@
 #include "transforms/pass.hpp"
 
 #include <chrono>
+#include <cstdint>
 #include <condition_variable>
 #include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <sstream>
 #include <thread>
+
+#include "common/diag.hpp"
+#include "common/obs.hpp"
 
 namespace dace::xf {
 
@@ -43,12 +47,17 @@ int Pipeline::run(ir::SDFG& sdfg) const {
   }
   int changed = 0;
   for (const Pass& p : passes_) {
+    obs::Span pspan("pass", p.name);
     bool applied = false;
     try {
       applied = p.apply(sdfg);
     } catch (const Error& e) {
       throw err("pipeline '", name_, "': pass '", p.name,
                 "' failed: ", e.what());
+    }
+    if (pspan.active()) {
+      pspan.set_args("{\"pipeline\":\"" + diag::json_escape(name_) +
+                     "\",\"applied\":" + (applied ? "true" : "false") + "}");
     }
     if (!applied) continue;
     ++changed;
@@ -227,6 +236,7 @@ PassReport Pipeline::run_transactional(ir::SDFG& sdfg) const {
     PassOutcome o;
     o.name = p.name;
     auto t0 = std::chrono::steady_clock::now();
+    int64_t obs_t0 = obs::enabled() ? obs::now_ns() : 0;
     // The pass mutates a snapshot; the committed graph is untouched until
     // the snapshot passes the commit gate, so "rollback" is O(1) discard.
     std::shared_ptr<ir::SDFG> work(sdfg.clone().release());
@@ -248,6 +258,16 @@ PassReport Pipeline::run_transactional(ir::SDFG& sdfg) const {
       sdfg.swap(*work);
       o.committed = true;
       ++report.committed;
+    }
+    if (obs::enabled()) {
+      // Mirror the PassOutcome into the trace so sdfg-prof can report
+      // which pass last rewrote each graph alongside the node timings.
+      std::ostringstream a;
+      a << "{\"pipeline\":\"" << diag::json_escape(name_)
+        << "\",\"applied\":" << (o.applied ? "true" : "false")
+        << ",\"committed\":" << (o.committed ? "true" : "false")
+        << ",\"rolled_back\":" << (o.rolled_back ? "true" : "false") << "}";
+      obs::complete("pass", p.name, obs_t0, obs::now_ns() - obs_t0, a.str());
     }
     report.outcomes.push_back(std::move(o));
   }

@@ -19,6 +19,7 @@
 #include <string>
 #include <vector>
 
+#include "common/obs.hpp"
 #include "distributed/dist_kernels.hpp"
 #include "distributed/simmpi.hpp"
 
@@ -209,8 +210,11 @@ int selftest() {
 void usage() {
   std::fprintf(stderr,
                "usage: dist-replay [--plan SPEC] [--seed N] [--timeout S] "
-               "[--retries N] [--quiet] TRACE\n"
-               "       dist-replay --selftest\n");
+               "[--retries N] [--trace OUT.json] [--quiet] TRACE\n"
+               "       dist-replay --selftest\n"
+               "  --trace OUT.json  re-emit the replayed schedule as a\n"
+               "                    Chrome/Perfetto timeline (per-rank\n"
+               "                    virtual clocks, faults as instants)\n");
 }
 
 }  // namespace
@@ -219,6 +223,7 @@ int main(int argc, char** argv) {
   dist::FaultPlan plan;
   dist::CommConfig cfg = dist::CommConfig::from_env();
   std::string path;
+  std::string trace_out;
   bool quiet = false;
   try {
     for (int i = 1; i < argc; ++i) {
@@ -232,6 +237,7 @@ int main(int argc, char** argv) {
       else if (a == "--seed") plan.seed = (uint64_t)std::stoull(val());
       else if (a == "--timeout") cfg.timeout_s = std::stod(val());
       else if (a == "--retries") cfg.max_retries = std::stoi(val());
+      else if (a == "--trace") trace_out = val();
       else if (a == "--quiet") quiet = true;
       else if (a == "--help" || a == "-h") { usage(); return 0; }
       else if (!a.empty() && a[0] == '-') throw err("unknown option ", a);
@@ -241,7 +247,19 @@ int main(int argc, char** argv) {
     std::ifstream f(path);
     DACE_CHECK(f.good(), "dist-replay: cannot open ", path);
     Trace t = parse_trace(f);
-    return replay(t, plan, cfg, quiet);
+    if (!trace_out.empty()) {
+      obs::set_enabled(true);
+      obs::clear();
+    }
+    int rc = replay(t, plan, cfg, quiet);
+    if (!trace_out.empty()) {
+      DACE_CHECK(obs::write_trace(trace_out), "dist-replay: cannot write ",
+                 trace_out);
+      if (!quiet)
+        std::printf("timeline written to %s (%zu events)\n",
+                    trace_out.c_str(), obs::event_count());
+    }
+    return rc;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "dist-replay: %s\n", e.what());
     return 1;

@@ -1,0 +1,797 @@
+// sdfg-prof: offline aggregation of obs:: traces into a hot-node report.
+//
+// A run recorded with DACE_INSTRUMENT=timer DACE_TRACE_FILE=t.json emits a
+// Chrome/Perfetto trace with frontend, pass, JIT and per-node spans
+// (docs/OBSERVABILITY.md).  This tool folds that event stream back into
+// the per-SDFG-node view: which maps dominated the runtime, how many
+// VM instructions they retired per iteration, which execution tier they
+// reached, and which optimization pass last rewrote the graph before
+// they ran.
+//
+//   sdfg-prof t.json            human-readable report
+//   sdfg-prof --json t.json     machine-readable (DiagSink-style JSON)
+//
+// Exit codes: 0 = report produced, 1 = malformed input.  Malformed input
+// is diagnosed with stable E5xx codes:
+//   E501  cannot open the trace file
+//   E502  JSON syntax error (with line/col)
+//   E503  well-formed JSON that is not a Chrome trace document
+//   E504  malformed trace event inside traceEvents
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/diag.hpp"
+
+namespace {
+
+using dace::diag::DiagSink;
+using dace::diag::json_escape;
+
+// ---------------------------------------------------------------------------
+// Minimal JSON reader (DOM): just enough for Chrome trace documents.
+// ---------------------------------------------------------------------------
+
+struct JV {
+  enum Kind { Null, Bool, Num, Str, Arr, Obj } kind = Null;
+  bool b = false;
+  double num = 0;
+  std::string str;
+  std::vector<JV> arr;
+  std::vector<std::pair<std::string, JV>> obj;
+
+  const JV* get(const std::string& key) const {
+    if (kind != Obj) return nullptr;
+    for (const auto& [k, v] : obj) {
+      if (k == key) return &v;
+    }
+    return nullptr;
+  }
+  double as_num(double dflt = 0) const { return kind == Num ? num : dflt; }
+  std::string as_str() const { return kind == Str ? str : std::string(); }
+  bool as_bool() const { return kind == Bool ? b : false; }
+};
+
+struct SyntaxError {
+  int line = 0, col = 0;
+  std::string msg;
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& s) : s_(s) {}
+
+  JV parse() {
+    JV v = value();
+    ws();
+    if (pos_ != s_.size()) fail("trailing characters after document");
+    return v;
+  }
+
+ private:
+  const std::string& s_;
+  size_t pos_ = 0;
+
+  [[noreturn]] void fail(const std::string& msg) {
+    int line = 1, col = 1;
+    for (size_t i = 0; i < pos_ && i < s_.size(); ++i) {
+      if (s_[i] == '\n') {
+        ++line;
+        col = 1;
+      } else {
+        ++col;
+      }
+    }
+    throw SyntaxError{line, col, msg};
+  }
+
+  void ws() {
+    while (pos_ < s_.size() && (s_[pos_] == ' ' || s_[pos_] == '\t' ||
+                                s_[pos_] == '\n' || s_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end of input");
+    return s_[pos_];
+  }
+
+  void expect(char c) {
+    if (pos_ >= s_.size() || s_[pos_] != c)
+      fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JV value() {
+    ws();
+    char c = peek();
+    if (c == '{') return object();
+    if (c == '[') return array();
+    if (c == '"') return string();
+    if (c == 't' || c == 'f') return boolean();
+    if (c == 'n') return null();
+    if (c == '-' || (c >= '0' && c <= '9')) return number();
+    fail("unexpected character");
+  }
+
+  JV object() {
+    expect('{');
+    JV v;
+    v.kind = JV::Obj;
+    ws();
+    if (peek() == '}') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      ws();
+      JV key = string();
+      ws();
+      expect(':');
+      v.obj.emplace_back(std::move(key.str), value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect('}');
+      return v;
+    }
+  }
+
+  JV array() {
+    expect('[');
+    JV v;
+    v.kind = JV::Arr;
+    ws();
+    if (peek() == ']') {
+      ++pos_;
+      return v;
+    }
+    while (true) {
+      v.arr.push_back(value());
+      ws();
+      if (peek() == ',') {
+        ++pos_;
+        continue;
+      }
+      expect(']');
+      return v;
+    }
+  }
+
+  JV string() {
+    expect('"');
+    JV v;
+    v.kind = JV::Str;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return v;
+      if (c != '\\') {
+        v.str += c;
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': v.str += '"'; break;
+        case '\\': v.str += '\\'; break;
+        case '/': v.str += '/'; break;
+        case 'b': v.str += '\b'; break;
+        case 'f': v.str += '\f'; break;
+        case 'n': v.str += '\n'; break;
+        case 'r': v.str += '\r'; break;
+        case 't': v.str += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("truncated \\u escape");
+          unsigned cp = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            cp <<= 4;
+            if (h >= '0' && h <= '9') cp |= (unsigned)(h - '0');
+            else if (h >= 'a' && h <= 'f') cp |= (unsigned)(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') cp |= (unsigned)(h - 'A' + 10);
+            else fail("bad \\u escape");
+          }
+          // Traces only escape control characters; keep BMP handling
+          // simple (UTF-8 encode, no surrogate pairing).
+          if (cp < 0x80) {
+            v.str += (char)cp;
+          } else if (cp < 0x800) {
+            v.str += (char)(0xC0 | (cp >> 6));
+            v.str += (char)(0x80 | (cp & 0x3F));
+          } else {
+            v.str += (char)(0xE0 | (cp >> 12));
+            v.str += (char)(0x80 | ((cp >> 6) & 0x3F));
+            v.str += (char)(0x80 | (cp & 0x3F));
+          }
+          break;
+        }
+        default: fail("bad escape character");
+      }
+    }
+  }
+
+  JV boolean() {
+    JV v;
+    v.kind = JV::Bool;
+    if (s_.compare(pos_, 4, "true") == 0) {
+      v.b = true;
+      pos_ += 4;
+    } else if (s_.compare(pos_, 5, "false") == 0) {
+      v.b = false;
+      pos_ += 5;
+    } else {
+      fail("bad literal");
+    }
+    return v;
+  }
+
+  JV null() {
+    if (s_.compare(pos_, 4, "null") != 0) fail("bad literal");
+    pos_ += 4;
+    return JV{};
+  }
+
+  JV number() {
+    size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (isdigit((unsigned char)s_[pos_]) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' ||
+            s_[pos_] == '-')) {
+      ++pos_;
+    }
+    JV v;
+    v.kind = JV::Num;
+    try {
+      v.num = std::stod(s_.substr(start, pos_ - start));
+    } catch (...) {
+      fail("bad number");
+    }
+    return v;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Aggregation
+// ---------------------------------------------------------------------------
+
+struct Malformed {
+  std::string msg;  // E504 detail
+};
+
+struct NodeAgg {
+  std::string name;
+  std::string kind;       // "map", "tasklet", "library", "state"
+  double total_ms = 0;
+  int64_t calls = 0;
+  int64_t iters = 0;
+  uint64_t instrs = 0;
+  int tier = 0;           // highest tier observed
+  double first_ts = -1;   // us; for last-rewrite attribution
+  std::string last_pass;  // last committed pass before this node first ran
+};
+
+struct PassAgg {
+  std::string name;
+  double total_ms = 0;
+  int64_t runs = 0;
+  int64_t applied = 0;
+  int64_t committed = 0;
+  int64_t rolled_back = 0;
+};
+
+struct RankAgg {
+  int rank = 0;
+  int64_t comm_ops = 0;
+  int64_t retransmits = 0;
+  std::map<std::string, int64_t> faults;  // kind -> count
+};
+
+struct Report {
+  size_t events = 0;
+  std::vector<NodeAgg> nodes;        // sorted hottest-first
+  std::vector<PassAgg> passes;       // first-seen order
+  double parse_ms = 0;
+  double lower_ms = 0;
+  int64_t lowered_functions = 0;
+  int64_t jit_compiles = 0;
+  double jit_compile_ms = 0;
+  int64_t jit_cache_hits = 0;
+  int64_t jit_negative_hits = 0;
+  int64_t tier_promotions = 0;
+  int64_t map_compiles = 0;          // bytecode (Tier-0) compilations
+  double map_compile_ms = 0;
+  std::vector<RankAgg> ranks;        // sorted by rank
+};
+
+int64_t arg_int(const JV* args, const char* key) {
+  if (!args) return 0;
+  const JV* v = args->get(key);
+  return v ? (int64_t)std::llround(v->as_num()) : 0;
+}
+
+std::string arg_str(const JV* args, const char* key) {
+  if (!args) return "";
+  const JV* v = args->get(key);
+  return v ? v->as_str() : "";
+}
+
+Report aggregate(const JV& doc) {
+  const JV* events = nullptr;
+  if (doc.kind == JV::Arr) {
+    events = &doc;  // bare-array Chrome trace
+  } else if (doc.kind == JV::Obj) {
+    events = doc.get("traceEvents");
+  }
+  if (!events || events->kind != JV::Arr)
+    throw Malformed{"document has no traceEvents array"};
+
+  Report r;
+  std::map<std::string, NodeAgg> nodes;
+  std::vector<PassAgg> passes;
+  std::map<int, RankAgg> ranks;
+  // (end ts, name) of every committed pass, for last-rewrite attribution.
+  std::vector<std::pair<double, std::string>> committed_passes;
+
+  size_t idx = 0;
+  for (const JV& e : events->arr) {
+    ++idx;
+    if (e.kind != JV::Obj)
+      throw Malformed{"traceEvents[" + std::to_string(idx - 1) +
+                      "] is not an object"};
+    const JV* phv = e.get("ph");
+    const JV* namev = e.get("name");
+    if (!phv || phv->kind != JV::Str || phv->str.size() != 1 || !namev ||
+        namev->kind != JV::Str) {
+      throw Malformed{"traceEvents[" + std::to_string(idx - 1) +
+                      "] lacks string 'ph'/'name'"};
+    }
+    char ph = phv->str[0];
+    if (ph == 'M') continue;  // metadata
+    ++r.events;
+    const std::string& name = namev->str;
+    std::string cat = e.get("cat") ? e.get("cat")->as_str() : "";
+    double ts = e.get("ts") ? e.get("ts")->as_num() : 0;
+    double dur = e.get("dur") ? e.get("dur")->as_num() : 0;
+    int pid = (int)(e.get("pid") ? e.get("pid")->as_num() : 0);
+    int tid = (int)(e.get("tid") ? e.get("tid")->as_num() : 0);
+    const JV* args = e.get("args");
+
+    if (pid == 1) {
+      // Virtual rank timeline.
+      RankAgg& ra = ranks[tid];
+      ra.rank = tid;
+      if (cat == "fault") {
+        ++ra.faults[name];
+      } else if (cat == "comm") {
+        if (name == "retransmit") ++ra.retransmits;
+        else ++ra.comm_ops;
+      }
+      continue;
+    }
+    if (cat == "node") {
+      NodeAgg& na = nodes[name];
+      na.name = name;
+      if (ph == 'X') {
+        na.total_ms += dur / 1000.0;
+        ++na.calls;
+        na.iters += arg_int(args, "iters");
+        na.instrs += (uint64_t)arg_int(args, "instrs");
+        na.tier = std::max(na.tier, (int)arg_int(args, "tier"));
+        if (na.kind.empty()) na.kind = arg_str(args, "kind");
+        if (na.first_ts < 0 || ts < na.first_ts) na.first_ts = ts;
+      } else if (ph == 'C') {
+        // Counter mode: the value is the cumulative iteration count.
+        ++na.calls;
+        const JV* v = args ? args->get("value") : nullptr;
+        if (v)
+          na.iters = std::max(na.iters, (int64_t)std::llround(v->as_num()));
+        if (na.kind.empty()) na.kind = "counter";
+        if (na.first_ts < 0 || ts < na.first_ts) na.first_ts = ts;
+      }
+    } else if (cat == "pass" && ph == 'X') {
+      PassAgg* pa = nullptr;
+      for (auto& p : passes) {
+        if (p.name == name) pa = &p;
+      }
+      if (!pa) {
+        passes.push_back(PassAgg{});
+        pa = &passes.back();
+        pa->name = name;
+      }
+      pa->total_ms += dur / 1000.0;
+      ++pa->runs;
+      if (args && args->get("applied") && args->get("applied")->as_bool())
+        ++pa->applied;
+      bool committed =
+          args && args->get("committed") && args->get("committed")->as_bool();
+      // Pipeline::run emits applied without a commit gate; treat an
+      // applied pass with no commit/rollback info as having rewritten
+      // the graph.
+      if (!committed && args && args->get("applied") &&
+          args->get("applied")->as_bool() && !args->get("committed")) {
+        committed = true;
+      }
+      if (committed) {
+        ++pa->committed;
+        committed_passes.emplace_back(ts + dur, name);
+      }
+      if (args && args->get("rolled_back") &&
+          args->get("rolled_back")->as_bool()) {
+        ++pa->rolled_back;
+      }
+    } else if (cat == "frontend" && ph == 'X') {
+      if (name == "parse") r.parse_ms += dur / 1000.0;
+      if (name == "lower") {
+        r.lower_ms += dur / 1000.0;
+        ++r.lowered_functions;
+      }
+    } else if (cat == "jit") {
+      if (name == "compile" && ph == 'X') {
+        ++r.jit_compiles;
+        r.jit_compile_ms += dur / 1000.0;
+      } else if (name == "cache-hit") {
+        ++r.jit_cache_hits;
+      } else if (name == "negative-cache-hit") {
+        ++r.jit_negative_hits;
+      }
+    } else if (cat == "tier" && name == "promote") {
+      ++r.tier_promotions;
+    } else if (cat == "executor" && name == "compile-map" && ph == 'X') {
+      ++r.map_compiles;
+      r.map_compile_ms += dur / 1000.0;
+    }
+  }
+
+  std::sort(committed_passes.begin(), committed_passes.end());
+  for (auto& [name, na] : nodes) {
+    (void)name;
+    for (const auto& [end_ts, pname] : committed_passes) {
+      if (na.first_ts >= 0 && end_ts <= na.first_ts) na.last_pass = pname;
+    }
+    r.nodes.push_back(na);
+  }
+  std::sort(r.nodes.begin(), r.nodes.end(),
+            [](const NodeAgg& a, const NodeAgg& b) {
+              if (a.total_ms != b.total_ms) return a.total_ms > b.total_ms;
+              return a.name < b.name;
+            });
+  r.passes = std::move(passes);
+  for (auto& [rk, ra] : ranks) {
+    (void)rk;
+    r.ranks.push_back(ra);
+  }
+  return r;
+}
+
+// ---------------------------------------------------------------------------
+// Rendering
+// ---------------------------------------------------------------------------
+
+std::string render_text(const Report& r, int top) {
+  std::ostringstream os;
+  char line[320];
+  os << "hot nodes (by total time):\n";
+  snprintf(line, sizeof(line), "  %-24s %-8s %10s %8s %12s %12s %5s  %s\n",
+           "node", "kind", "total ms", "calls", "iters", "instrs/iter",
+           "tier", "last rewrite");
+  os << line;
+  int shown = 0;
+  for (const NodeAgg& n : r.nodes) {
+    if (top > 0 && shown++ >= top) break;
+    double ipi = n.iters > 0 ? (double)n.instrs / (double)n.iters : 0.0;
+    snprintf(line, sizeof(line),
+             "  %-24s %-8s %10.3f %8lld %12lld %12.1f %5d  %s\n",
+             n.name.c_str(), n.kind.c_str(), n.total_ms, (long long)n.calls,
+             (long long)n.iters, ipi, n.tier,
+             n.last_pass.empty() ? "-" : n.last_pass.c_str());
+    os << line;
+  }
+  if (r.nodes.empty()) os << "  (no instrumented nodes in this trace)\n";
+  if (r.parse_ms > 0 || r.lower_ms > 0) {
+    snprintf(line, sizeof(line),
+             "frontend: parse %.3f ms, lower %.3f ms (%lld functions)\n",
+             r.parse_ms, r.lower_ms, (long long)r.lowered_functions);
+    os << line;
+  }
+  if (!r.passes.empty()) {
+    double total = 0;
+    int64_t committed = 0, rolled = 0;
+    for (const auto& p : r.passes) {
+      total += p.total_ms;
+      committed += p.committed;
+      rolled += p.rolled_back;
+    }
+    snprintf(line, sizeof(line),
+             "passes (%lld committed, %lld rolled back, %.3f ms total):\n",
+             (long long)committed, (long long)rolled, total);
+    os << line;
+    for (const auto& p : r.passes) {
+      snprintf(line, sizeof(line),
+               "  %-24s %10.3f ms  runs=%lld applied=%lld committed=%lld\n",
+               p.name.c_str(), p.total_ms, (long long)p.runs,
+               (long long)p.applied, (long long)p.committed);
+      os << line;
+    }
+  }
+  if (r.jit_compiles || r.jit_cache_hits || r.jit_negative_hits ||
+      r.tier_promotions || r.map_compiles) {
+    snprintf(line, sizeof(line),
+             "jit: %lld compiles (%.3f ms), %lld cache hits, %lld negative, "
+             "%lld promotions; %lld bytecode compiles (%.3f ms)\n",
+             (long long)r.jit_compiles, r.jit_compile_ms,
+             (long long)r.jit_cache_hits, (long long)r.jit_negative_hits,
+             (long long)r.tier_promotions, (long long)r.map_compiles,
+             r.map_compile_ms);
+    os << line;
+  }
+  if (!r.ranks.empty()) {
+    os << "virtual ranks:\n";
+    for (const RankAgg& ra : r.ranks) {
+      int64_t nfaults = 0;
+      std::string detail;
+      for (const auto& [k, v] : ra.faults) {
+        nfaults += v;
+        if (!detail.empty()) detail += ",";
+        detail += k + "=" + std::to_string(v);
+      }
+      snprintf(line, sizeof(line),
+               "  rank %d: %lld comm ops, %lld faults%s%s%s, "
+               "%lld retransmits\n",
+               ra.rank, (long long)ra.comm_ops, (long long)nfaults,
+               detail.empty() ? "" : " [", detail.c_str(),
+               detail.empty() ? "" : "]", (long long)ra.retransmits);
+      os << line;
+    }
+  }
+  return os.str();
+}
+
+std::string render_json(const Report& r, const std::string& file, int top) {
+  std::ostringstream os;
+  os << "{\"file\":\"" << json_escape(file) << "\",\"events\":" << r.events
+     << ",\"nodes\":[";
+  int shown = 0;
+  bool first = true;
+  for (const NodeAgg& n : r.nodes) {
+    if (top > 0 && shown++ >= top) break;
+    if (!first) os << ",";
+    first = false;
+    double ipi = n.iters > 0 ? (double)n.instrs / (double)n.iters : 0.0;
+    char num[64];
+    snprintf(num, sizeof(num), "%.3f", n.total_ms);
+    os << "{\"name\":\"" << json_escape(n.name) << "\",\"kind\":\""
+       << json_escape(n.kind) << "\",\"total_ms\":" << num
+       << ",\"calls\":" << n.calls << ",\"iters\":" << n.iters
+       << ",\"instrs\":" << n.instrs;
+    snprintf(num, sizeof(num), "%.1f", ipi);
+    os << ",\"instrs_per_iter\":" << num << ",\"tier\":" << n.tier
+       << ",\"last_rewrite\":\"" << json_escape(n.last_pass) << "\"}";
+  }
+  os << "],\"passes\":[";
+  first = true;
+  for (const PassAgg& p : r.passes) {
+    if (!first) os << ",";
+    first = false;
+    char num[64];
+    snprintf(num, sizeof(num), "%.3f", p.total_ms);
+    os << "{\"name\":\"" << json_escape(p.name) << "\",\"total_ms\":" << num
+       << ",\"runs\":" << p.runs << ",\"applied\":" << p.applied
+       << ",\"committed\":" << p.committed
+       << ",\"rolled_back\":" << p.rolled_back << "}";
+  }
+  char num[64];
+  snprintf(num, sizeof(num), "%.3f", r.parse_ms);
+  os << "],\"frontend\":{\"parse_ms\":" << num;
+  snprintf(num, sizeof(num), "%.3f", r.lower_ms);
+  os << ",\"lower_ms\":" << num << ",\"functions\":" << r.lowered_functions
+     << "},\"jit\":{\"compiles\":" << r.jit_compiles;
+  snprintf(num, sizeof(num), "%.3f", r.jit_compile_ms);
+  os << ",\"compile_ms\":" << num << ",\"cache_hits\":" << r.jit_cache_hits
+     << ",\"negative_hits\":" << r.jit_negative_hits
+     << ",\"promotions\":" << r.tier_promotions
+     << ",\"bytecode_compiles\":" << r.map_compiles << "},\"ranks\":[";
+  first = true;
+  for (const RankAgg& ra : r.ranks) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"rank\":" << ra.rank << ",\"comm_ops\":" << ra.comm_ops
+       << ",\"retransmits\":" << ra.retransmits << ",\"faults\":{";
+    bool f2 = true;
+    for (const auto& [k, v] : ra.faults) {
+      if (!f2) os << ",";
+      f2 = false;
+      os << "\"" << json_escape(k) << "\":" << v;
+    }
+    os << "}}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Selftest: a synthetic trace with every event family, golden output.
+// ---------------------------------------------------------------------------
+
+const char* kSelftestTrace = R"TRACE({"traceEvents":[
+{"ph":"M","pid":0,"tid":0,"name":"process_name","args":{"name":"dacepp host"}},
+{"ph":"X","name":"parse","cat":"frontend","pid":0,"tid":0,"ts":0,"dur":1500},
+{"ph":"X","name":"lower","cat":"frontend","pid":0,"tid":0,"ts":1500,"dur":2500,"args":{"function":"stencil"}},
+{"ph":"X","name":"fuse_maps","cat":"pass","pid":0,"tid":0,"ts":4100,"dur":2000,"args":{"pipeline":"auto_optimize","applied":true,"committed":true,"rolled_back":false}},
+{"ph":"X","name":"tile_maps","cat":"pass","pid":0,"tid":0,"ts":6200,"dur":1000,"args":{"pipeline":"auto_optimize","applied":false,"committed":false,"rolled_back":false}},
+{"ph":"X","name":"compile-map","cat":"executor","pid":0,"tid":0,"ts":8000,"dur":300,"args":{"map":"stencil","instructions":24}},
+{"ph":"X","name":"init","cat":"node","pid":0,"tid":0,"ts":9000,"dur":500,"args":{"kind":"map","state":0,"node":1,"tier":0,"iters":100,"instrs":400}},
+{"ph":"X","name":"stencil","cat":"node","pid":0,"tid":0,"ts":10000,"dur":4000,"args":{"kind":"map","state":1,"node":2,"tier":0,"iters":1000,"instrs":42000}},
+{"ph":"i","name":"promote","cat":"tier","pid":0,"tid":0,"ts":14200,"s":"t","args":{"map":"stencil","iterations":1000}},
+{"ph":"X","name":"compile","cat":"jit","pid":0,"tid":1,"ts":14300,"dur":50000,"args":{"program":"dacepp_map_0000000000000001","ok":true}},
+{"ph":"i","name":"cache-hit","cat":"jit","pid":0,"tid":0,"ts":65000,"s":"t"},
+{"ph":"X","name":"stencil","cat":"node","pid":0,"tid":0,"ts":70000,"dur":1000,"args":{"kind":"map","state":1,"node":2,"tier":1,"iters":1000}},
+{"ph":"i","name":"send","cat":"comm","pid":1,"tid":0,"ts":0,"s":"t","args":{"peer":1,"tag":5,"n":64}},
+{"ph":"i","name":"drop","cat":"fault","pid":1,"tid":0,"ts":0,"s":"t","args":{"peer":1,"tag":5,"bytes":512,"seq":0,"attempt":0}},
+{"ph":"i","name":"retransmit","cat":"comm","pid":1,"tid":0,"ts":1000,"s":"t","args":{"peer":1,"tag":5,"attempt":0,"backoff_s":0.001}},
+{"ph":"i","name":"recv","cat":"comm","pid":1,"tid":1,"ts":2000,"s":"t","args":{"peer":0,"tag":5,"n":64}}
+],"displayTimeUnit":"ms"}
+)TRACE";
+
+const char* kSelftestGolden =
+    "hot nodes (by total time):\n"
+    "  node                     kind       total ms    calls        iters"
+    "  instrs/iter  tier  last rewrite\n"
+    "  stencil                  map           5.000        2         2000"
+    "         21.0     1  fuse_maps\n"
+    "  init                     map           0.500        1          100"
+    "          4.0     0  fuse_maps\n"
+    "frontend: parse 1.500 ms, lower 2.500 ms (1 functions)\n"
+    "passes (1 committed, 0 rolled back, 3.000 ms total):\n"
+    "  fuse_maps                     2.000 ms  runs=1 applied=1 committed=1\n"
+    "  tile_maps                     1.000 ms  runs=1 applied=0 committed=0\n"
+    "jit: 1 compiles (50.000 ms), 1 cache hits, 0 negative, 1 promotions; "
+    "1 bytecode compiles (0.300 ms)\n"
+    "virtual ranks:\n"
+    "  rank 0: 1 comm ops, 1 faults [drop=1], 1 retransmits\n"
+    "  rank 1: 1 comm ops, 0 faults, 0 retransmits\n";
+
+int selftest() {
+  // Golden report over the synthetic trace.
+  JV doc = JsonParser(std::string(kSelftestTrace)).parse();
+  Report r = aggregate(doc);
+  std::string got = render_text(r, 20);
+  if (got != kSelftestGolden) {
+    std::fprintf(stderr,
+                 "sdfg-prof selftest: report mismatch\n-- got:\n%s"
+                 "-- want:\n%s",
+                 got.c_str(), kSelftestGolden);
+    return 1;
+  }
+  // The ranking must put the stencil map first with its tier recorded.
+  if (r.nodes.empty() || r.nodes[0].name != "stencil" ||
+      r.nodes[0].tier != 1) {
+    std::fprintf(stderr, "sdfg-prof selftest: bad hot-node ranking\n");
+    return 1;
+  }
+  // JSON output is parseable by our own reader and carries the ranking.
+  std::string js = render_json(r, "selftest", 20);
+  JV jdoc = JsonParser(js).parse();
+  const JV* nodes = jdoc.get("nodes");
+  if (!nodes || nodes->kind != JV::Arr || nodes->arr.empty() ||
+      nodes->arr[0].get("name")->as_str() != "stencil") {
+    std::fprintf(stderr, "sdfg-prof selftest: bad --json output\n");
+    return 1;
+  }
+  // Error paths: E502 (syntax), E503 (not a trace), E504 (bad event).
+  bool e502 = false, e503 = false, e504 = false;
+  try {
+    JsonParser(std::string("{\"truncated\":")).parse();
+  } catch (const SyntaxError&) {
+    e502 = true;
+  }
+  try {
+    aggregate(JsonParser(std::string("{\"foo\":1}")).parse());
+  } catch (const Malformed&) {
+    e503 = true;
+  }
+  try {
+    aggregate(JsonParser(std::string("{\"traceEvents\":[42]}")).parse());
+  } catch (const Malformed&) {
+    e504 = true;
+  }
+  if (!e502 || !e503 || !e504) {
+    std::fprintf(stderr, "sdfg-prof selftest: error paths not exercised\n");
+    return 1;
+  }
+  std::printf("sdfg-prof selftest OK (%zu events aggregated)\n", r.events);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: sdfg-prof [--json] [--top N] TRACE.json\n"
+               "       sdfg-prof --selftest\n"
+               "Aggregates an obs:: Chrome/Perfetto trace "
+               "(DACE_TRACE_FILE=...) into a hot-node report.\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  int top = 20;
+  std::string path;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--selftest") return selftest();
+    if (a == "--json") {
+      json = true;
+    } else if (a == "--top") {
+      if (i + 1 >= argc) {
+        usage();
+        return 1;
+      }
+      top = std::atoi(argv[++i]);
+    } else if (a == "--help" || a == "-h") {
+      usage();
+      return 0;
+    } else if (!a.empty() && a[0] == '-') {
+      std::fprintf(stderr, "sdfg-prof: unknown option %s\n", a.c_str());
+      usage();
+      return 1;
+    } else {
+      path = a;
+    }
+  }
+  if (path.empty()) {
+    usage();
+    return 1;
+  }
+
+  DiagSink sink;
+  sink.set_source(path, "");
+  std::string text;
+  {
+    std::ifstream f(path, std::ios::binary);
+    if (!f.good()) {
+      sink.error("E501", 0, 0, "cannot open trace file '" + path + "'");
+    } else {
+      std::ostringstream ss;
+      ss << f.rdbuf();
+      text = ss.str();
+    }
+  }
+  Report report;
+  if (!sink.has_errors()) {
+    try {
+      JV doc = JsonParser(text).parse();
+      report = aggregate(doc);
+    } catch (const SyntaxError& e) {
+      sink.error("E502", e.line, e.col, "JSON syntax error: " + e.msg);
+    } catch (const Malformed& m) {
+      // E503 = document shape, E504 = individual event shape.
+      bool doc_level = m.msg.find("traceEvents[") == std::string::npos;
+      sink.error(doc_level ? "E503" : "E504", 0, 0,
+                 "not a valid trace: " + m.msg);
+    }
+  }
+  if (sink.has_errors()) {
+    if (json) std::printf("%s\n", sink.to_json().c_str());
+    std::fprintf(stderr, "%s", sink.render().c_str());
+    return 1;
+  }
+  if (json) {
+    std::printf("%s", render_json(report, path, top).c_str());
+  } else {
+    std::printf("sdfg-prof: %zu events from %s\n", report.events,
+                path.c_str());
+    std::printf("%s", render_text(report, top).c_str());
+  }
+  return 0;
+}
