@@ -3,6 +3,8 @@
 // symbolic engine, and simMPI primitives.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+
 #include "bench_common.hpp"
 #include "distributed/simmpi.hpp"
 #include "frontend/lowering.hpp"
@@ -103,6 +105,24 @@ static void BM_VmOffsetStrengthReduction(benchmark::State& state) {
   run_map_bench(state, kOffsetSrc, n * n);
 }
 BENCHMARK(BM_VmOffsetStrengthReduction)->Args({0, 256})->Args({1, 256});
+
+// Bounds-guard elision on a clean copy: every access guarded
+// (DACE_ABSINT=all, arg 0) vs the interval prover discharging all of
+// them (default mode, arg 1).  instrs/sweep shows the elided checks.
+static void BM_VmGuardElision(benchmark::State& state) {
+  ::setenv("DACE_ABSINT", state.range(0) == 0 ? "all" : "1", 1);
+  MapBench mb = make_map_bench(kOffsetSrc, {{"N", state.range(1)}}, true);
+  ::unsetenv("DACE_ABSINT");
+  rt::VMStats per_sweep;
+  rt::vm_run(mb.prog, mb.arrays, mb.syms, mb.begin, mb.end, &per_sweep);
+  for (auto _ : state) {
+    rt::vm_run(mb.prog, mb.arrays, mb.syms, mb.begin, mb.end, nullptr);
+  }
+  int64_t n = state.range(1);
+  state.SetItemsProcessed(state.iterations() * n * n);
+  state.counters["instrs/sweep"] = (double)per_sweep.instrs;
+}
+BENCHMARK(BM_VmGuardElision)->Args({0, 256})->Args({1, 256});
 
 static void BM_TensorAdd(benchmark::State& state) {
   rt::Tensor a(ir::DType::f64, {state.range(0)});

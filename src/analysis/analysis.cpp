@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/obs.hpp"
+
 namespace dace::analysis {
 
 std::string Diagnostic::to_string() const {
@@ -55,9 +57,18 @@ std::string AnalysisReport::to_string() const {
 namespace {
 
 void analyze_into(const ir::SDFG& sdfg, AnalysisReport& report) {
-  detect_races(sdfg, report);
-  check_bounds(sdfg, report);
-  analyze_defuse(sdfg, report);
+  {
+    OBS_SPAN("analysis", "race");
+    detect_races(sdfg, report);
+  }
+  {
+    OBS_SPAN("analysis", "bounds");
+    check_bounds(sdfg, report);
+  }
+  {
+    OBS_SPAN("analysis", "defuse");
+    analyze_defuse(sdfg, report);
+  }
   for (int sid : sdfg.state_ids()) {
     const ir::State& st = sdfg.state(sid);
     for (int nid : st.node_ids()) {

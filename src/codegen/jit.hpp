@@ -26,9 +26,11 @@ using CompiledFn = void (*)(double** args, long long* syms);
 /// `syms` are indexed by the bytecode Program's slots; for splittable
 /// programs lo/hi carry the outer chunk bounds (the i0/i1 protocol of
 /// vm_run), so ThreadPool worksharing drives native code and the VM
-/// identically.
+/// identically.  A failing Guard writes its array slot + 1 into `*err`
+/// and returns early; the executor converts that into the same error the
+/// VM throws.
 using MapNativeFn = void (*)(double* const* arrays, const int64_t* syms,
-                             int64_t lo, int64_t hi);
+                             int64_t lo, int64_t hi, int64_t* err);
 
 namespace detail {
 /// Shared build pipeline: write `source`, compile to a shared object,

@@ -288,4 +288,52 @@ CodeExpr sym_to_code(const sym::Expr& e) {
 
 CodeExpr to_code(const sym::Expr& e) { return sym_to_code(e); }
 
+std::optional<sym::Expr> code_to_sym(const CodeExpr& e) {
+  using sym::Expr;
+  if (!e.valid()) return std::nullopt;
+  switch (e.op()) {
+    case CodeOp::Const: {
+      double v = e.value();
+      if (v != (double)(int64_t)v) return std::nullopt;
+      return Expr((int64_t)v);
+    }
+    case CodeOp::Sym:
+      return Expr::symbol(e.name());
+    case CodeOp::Add:
+    case CodeOp::Sub:
+    case CodeOp::Mul:
+    case CodeOp::Div:
+    case CodeOp::Mod:
+    case CodeOp::Min:
+    case CodeOp::Max: {
+      auto a = code_to_sym(e.args()[0]);
+      auto b = code_to_sym(e.args()[1]);
+      if (!a || !b) return std::nullopt;
+      switch (e.op()) {
+        case CodeOp::Add: return *a + *b;
+        case CodeOp::Sub: return *a - *b;
+        case CodeOp::Mul: return *a * *b;
+        // Integer context: symbol-valued division on interstate edges is
+        // floor division (mirrors to_code emitting Floor(Div(a, b))).
+        case CodeOp::Div: return sym::floordiv(*a, *b);
+        case CodeOp::Mod: return sym::mod(*a, *b);
+        case CodeOp::Min: return sym::min(*a, *b);
+        default: return sym::max(*a, *b);
+      }
+    }
+    case CodeOp::Neg: {
+      auto a = code_to_sym(e.args()[0]);
+      if (!a) return std::nullopt;
+      return -*a;
+    }
+    case CodeOp::Floor: {
+      // Integer expressions are already floored; Floor(Div(a, b)) is the
+      // round-trip image of sym::floordiv.
+      return code_to_sym(e.args()[0]);
+    }
+    default:
+      return std::nullopt;
+  }
+}
+
 }  // namespace dace::ir

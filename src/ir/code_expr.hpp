@@ -9,6 +9,7 @@
 #include <cmath>
 #include <map>
 #include <memory>
+#include <optional>
 #include <set>
 #include <string>
 #include <vector>
@@ -95,6 +96,11 @@ class CodeExpr {
 
 /// Convert a symbolic integer expression to a CodeExpr over symbols.
 CodeExpr to_code(const sym::Expr& e);
+
+/// Inverse direction, when representable: integer ops over symbols and
+/// constants (Div becomes floor division, matching to_code's image).
+/// Used to recover loop bounds and interstate conditions symbolically.
+std::optional<sym::Expr> code_to_sym(const CodeExpr& e);
 
 // Operator sugar for building tasklet code.
 inline CodeExpr operator+(const CodeExpr& a, const CodeExpr& b) {

@@ -147,6 +147,13 @@ void vm_run(const Program& prog, const std::vector<ArrayRef>& arrays,
       case Op::FSelect:
         fr[in.a] = fr[in.b] != 0 ? fr[in.c] : fr[static_cast<size_t>(in.imm)];
         break;
+      case Op::Guard:
+        if (ir[in.a] < 0 || ir[in.a] >= ir[in.b]) {
+          throw err("map guard: flat index ", ir[in.a],
+                    " outside [0, ", ir[in.b], ") for array '",
+                    prog.arrays[static_cast<size_t>(in.imm)], "'");
+        }
+        break;
       case Op::Halt:
         if (stats) *stats += local;
         return;
@@ -162,7 +169,7 @@ std::string Program::disassemble() const {
       "store", "storewcr", "fadd", "fsub", "fmul", "fdiv", "fpow", "fmod",
       "fmin", "fmax", "flt", "fle", "fgt", "fge", "feq", "fne", "fand",
       "for", "fneg", "fabs", "fexp", "flog", "fsqrt", "fsin", "fcos",
-      "ftanh", "ffloor", "fnot", "fselect", "halt"};
+      "ftanh", "ffloor", "fnot", "fselect", "guard", "halt"};
   std::ostringstream os;
   for (size_t i = 0; i < code.size(); ++i) {
     const Instr& in = code[i];
@@ -199,6 +206,9 @@ uint64_t Program::hash() const {
   mix(static_cast<uint64_t>(arrays.size()));
   mix(static_cast<uint64_t>(symbols.size()));
   mix(splittable ? 1 : 0);
+  // The absint-derived codegen flags change the generated Tier-1 source,
+  // so they must key the native cache too.
+  mix((use_restrict ? 1 : 0) | (vec_innermost ? 2 : 0));
   return h;
 }
 

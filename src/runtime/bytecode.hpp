@@ -40,6 +40,7 @@ enum class Op : uint8_t {
   FLt, FLe, FGt, FGe, FEq, FNe, FAnd, FOr,
   FNeg, FAbs, FExp, FLog, FSqrt, FSin, FCos, FTanh, FFloor, FNot,  // f[a]=.f[b]
   FSelect,  // f[a] = f[b] != 0 ? f[c] : f[imm]
+  Guard,    // trap unless 0 <= i[a] < i[b]; imm = array slot (diagnostics)
   Halt,
 };
 
@@ -84,6 +85,14 @@ struct Program {
   // When splittable, i[0]/i[1] are the outer loop's begin/end, set by the
   // caller per chunk; the compiled code reads rather than computes them.
   bool splittable = false;
+  // Set by the map compiler from interval-analysis facts (absint):
+  // use_restrict asserts the array slots bind non-overlapping buffers in
+  // Tier-1 code (the executor verifies at dispatch time and falls back to
+  // the VM on overlap); vec_innermost marks the innermost loop free of
+  // loop-carried dependences, letting codegen emit a structured
+  // vectorizable loop.
+  bool use_restrict = false;
+  bool vec_innermost = false;
 
   int array_slot(const std::string& name) {
     for (size_t i = 0; i < arrays.size(); ++i) {

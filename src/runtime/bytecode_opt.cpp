@@ -80,6 +80,7 @@ std::vector<RegRef> reads_of(const Instr& in) {
     case Op::Load: return {{Bank::I, in.b}};
     case Op::Store: return {{Bank::F, in.a}, {Bank::I, in.b}};
     case Op::StoreWcr: return {{Bank::F, in.a}, {Bank::I, in.b}};
+    case Op::Guard: return {{Bank::I, in.a}, {Bank::I, in.b}};
     case Op::FSelect:
       return {{Bank::F, in.b}, {Bank::F, in.c}, {Bank::F, (int)in.imm}};
     default:
@@ -347,6 +348,10 @@ class Optimizer {
               if (u.b == in.a) { u.b = in.b; changed = true; }
               break;
             case Op::Store: case Op::StoreWcr:
+              if (u.b == in.a) { u.b = in.b; changed = true; }
+              break;
+            case Op::Guard:
+              if (u.a == in.a) { u.a = in.b; changed = true; }
               if (u.b == in.a) { u.b = in.b; changed = true; }
               break;
             default:

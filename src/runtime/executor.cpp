@@ -1,6 +1,8 @@
 #include "runtime/executor.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdint>
 #include <sstream>
 
 #include "analysis/analysis.hpp"
@@ -158,6 +160,7 @@ void Executor::run(Bindings& args, const sym::SymbolMap& symbols) {
     } else {
       execute_state(st);
     }
+    if (opts_.post_state_hook) opts_.post_state_hook(st, syms_);
     DACE_CHECK(++steps < kMaxSteps, "executor: state machine did not halt");
     int next = -1;
     for (size_t ei : sdfg_.out_interstate(cur)) {
@@ -361,33 +364,62 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
       }
     }
   }
+  // Generated Tier-1 code declares its array pointers __restrict__ when
+  // interval analysis proved the scope contiguous; that assertion only
+  // holds if the bound buffers really are disjoint (a caller may alias
+  // two arguments, or pass overlapping views).  Re-check per launch and
+  // fall back to the VM on overlap.
+  bool restrict_ok = true;
+  if (prog.use_restrict) {
+    std::vector<std::pair<uintptr_t, uintptr_t>> spans(arrays.size());
+    for (size_t i = 0; i < arrays.size(); ++i) {
+      uintptr_t b = reinterpret_cast<uintptr_t>(arrays[i].base);
+      spans[i] = {b, b + sizeof(double) *
+                          (size_t)tensor(prog.arrays[i]).size()};
+    }
+    for (size_t i = 0; i < spans.size() && restrict_ok; ++i)
+      for (size_t j = i + 1; j < spans.size() && restrict_ok; ++j)
+        if (spans[i].first < spans[j].second &&
+            spans[j].first < spans[i].second)
+          restrict_ok = false;
+  }
+
   if (jit_ok && tp.native) {
     int state = tp.native->state.load(std::memory_order_acquire);
     if (state == NativeProgram::kFailed) {
       // No host compiler (or a build error): pin this program to Tier 0.
       tp.native_failed = true;
       tp.native.reset();
-    } else if (state == NativeProgram::kReady) {
+    } else if (state == NativeProgram::kReady && restrict_ok) {
       cg::MapNativeFn fn = tp.native->fn;
       std::vector<double*> bases(arrays.size());
       for (size_t i = 0; i < arrays.size(); ++i) bases[i] = arrays[i].base;
       ++native_launches_;
       *tier_used = 1;
+      std::atomic<int64_t> guard_err{0};
       if (!parallel) {
+        int64_t e = 0;
         if (prog.splittable) {
-          fn(bases.data(), symvals.data(), begin, end);
+          fn(bases.data(), symvals.data(), begin, end, &e);
         } else {
-          fn(bases.data(), symvals.data(), 0, 0);
+          fn(bases.data(), symvals.data(), 0, 0, &e);
         }
+        if (e) guard_err.store(e, std::memory_order_relaxed);
       } else {
         ThreadPool::global().parallel_for(iters, [&](int64_t lo, int64_t hi) {
+          int64_t e = 0;
           fn(bases.data(), symvals.data(), begin + lo * step,
-             begin + hi * step);
+             begin + hi * step, &e);
+          if (e) guard_err.store(e, std::memory_order_relaxed);
         });
+      }
+      if (int64_t e = guard_err.load(std::memory_order_relaxed)) {
+        throw err("map guard: out-of-range access on array '",
+                  prog.arrays[(size_t)(e - 1)], "' in map '", me->name, "'");
       }
       return;
     }
-    // Still compiling: keep interpreting below.
+    // Still compiling (or aliased buffers this launch): interpret below.
   }
 
   VMStats* stats = opts_.collect_stats ? &stats_ : nullptr;
@@ -399,16 +431,25 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
     }
     return;
   }
+  // Guard traps inside worker threads must not unwind through the pool;
+  // capture the first error and rethrow on the calling thread.
   std::mutex stats_mu;
+  std::string guard_msg;
   ThreadPool::global().parallel_for(iters, [&](int64_t lo, int64_t hi) {
     VMStats local;
-    vm_run(prog, arrays, symvals, begin + lo * step, begin + hi * step,
-           stats ? &local : nullptr);
+    try {
+      vm_run(prog, arrays, symvals, begin + lo * step, begin + hi * step,
+             stats ? &local : nullptr);
+    } catch (const std::exception& ex) {
+      std::lock_guard<std::mutex> lk(stats_mu);
+      if (guard_msg.empty()) guard_msg = ex.what();
+    }
     if (stats) {
       std::lock_guard<std::mutex> lk(stats_mu);
       *stats += local;
     }
   });
+  if (!guard_msg.empty()) throw err(guard_msg);
 }
 
 void Executor::execute_library(const ir::State& st, int node) {

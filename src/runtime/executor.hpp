@@ -54,6 +54,11 @@ struct ExecutorOptions {
   /// delta it produced. Device simulators charge launch costs here.
   std::function<void(const std::string& kind, const VMStats& delta)>
       launch_hook;
+  /// Called after each state finishes executing, with the state and the
+  /// symbol values in effect.  The differential fuzzer uses it to check
+  /// sentinel invariants (e.g. that statically-dead writes stay dead).
+  std::function<void(const ir::State& st, const sym::SymbolMap& syms)>
+      post_state_hook;
 };
 
 /// Compile a map scope into a VM program (exposed for the device

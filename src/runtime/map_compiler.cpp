@@ -8,11 +8,14 @@
 #include <algorithm>
 #include <map>
 
+#include "analysis/absint.hpp"
 #include "runtime/executor.hpp"
 
 namespace dace::rt {
 
 namespace {
+
+namespace absint = dace::analysis::absint;
 
 using ir::CodeExpr;
 using ir::CodeOp;
@@ -30,6 +33,18 @@ class MapCompiler {
     prog_.splittable = me->schedule == ir::Schedule::CPUParallel ||
                        me->schedule == ir::Schedule::GPUDevice ||
                        me->schedule == ir::Schedule::FPGAPipeline;
+    // Interval-analysis facts drive guard insertion and the Tier-1
+    // vectorization flags.  Off restores the unchecked seed behavior;
+    // All guards every access regardless of proof (the differential
+    // fuzzer uses it to cross-validate the prover).
+    absint_mode_ = absint::mode();
+    if (absint_mode_ != absint::Mode::Off) {
+      auto ranges = absint::SymbolRanges::compute(sdfg_);
+      facts_ = absint::analyze_map(sdfg_, st_, top_entry_,
+                                   ranges.at(sdfg_.state_id(&st_)));
+      prog_.use_restrict = facts_.innermost_contiguous;
+      prog_.vec_innermost = facts_.vectorizable;
+    }
     // Scalar transients with an access node inside this scope live in
     // (thread-private) registers; scalars produced outside the scope are
     // memory-resident and loaded/stored like rank-0 arrays.
@@ -73,6 +88,28 @@ class MapCompiler {
   std::vector<Instr> preamble_;                // runs once, before the body
   bool in_loop_ = false;
   bool to_preamble_ = false;
+  absint::Mode absint_mode_ = absint::Mode::Off;
+  absint::MapFacts facts_;
+
+  /// Whether the memlet access of `e` needs a runtime bounds guard:
+  /// never in Off mode, always in All mode, and only when the interval
+  /// analysis failed to prove it in range otherwise.
+  bool needs_guard(const ir::Edge* e) const {
+    if (absint_mode_ == absint::Mode::Off) return false;
+    if (absint_mode_ == absint::Mode::All) return true;
+    size_t ei = static_cast<size_t>(e - st_.edges().data());
+    return facts_.inrange_edges.count(ei) == 0;
+  }
+
+  /// Emit a Guard trapping unless the flat offset lies in [0, numel).
+  void emit_guard(const ir::Memlet& m, int off_reg) {
+    const ir::DataDesc& d = sdfg_.array(m.data);
+    Expr numel(int64_t{1});
+    for (const Expr& s : d.shape) numel = numel * s;
+    int limit = emit_expr(numel);  // invariant: hoisted to the preamble
+    emit(Op::Guard, (uint16_t)off_reg, (uint16_t)limit, 0,
+         prog_.array_slot(m.data));
+  }
 
   size_t emit(Op op, uint16_t a = 0, uint16_t b = 0, uint16_t c = 0,
               int64_t imm = 0, double fimm = 0, uint8_t flag = 0) {
@@ -365,6 +402,7 @@ class MapCompiler {
       if (src->kind == ir::NodeKind::MapEntry ||
           src->kind == ir::NodeKind::Access) {
         int off = emit_expr(offset_expr(e->memlet));
+        if (needs_guard(e)) emit_guard(e->memlet, off);
         int r = freg();
         emit(Op::Load, (uint16_t)r, (uint16_t)off, 0,
              prog_.array_slot(e->memlet.data));
@@ -394,6 +432,7 @@ class MapCompiler {
       if (e->dst == exit || dst->kind == ir::NodeKind::MapExit ||
           dst->kind == ir::NodeKind::Access) {
         int off = emit_expr(offset_expr(e->memlet));
+        if (needs_guard(e)) emit_guard(e->memlet, off);
         if (e->memlet.wcr == ir::WCR::None) {
           emit(Op::Store, (uint16_t)out, (uint16_t)off, 0,
                prog_.array_slot(e->memlet.data));

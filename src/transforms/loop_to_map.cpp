@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "analysis/absint.hpp"
+
 namespace dace::xf {
 
 using ir::AccessNode;
@@ -19,40 +21,10 @@ using sym::Expr;
 using sym::Subset;
 
 std::optional<Expr> code_to_sym(const CodeExpr& e) {
-  if (!e.valid()) return std::nullopt;
-  switch (e.op()) {
-    case CodeOp::Const: {
-      double v = e.value();
-      if (v != (double)(int64_t)v) return std::nullopt;
-      return Expr((int64_t)v);
-    }
-    case CodeOp::Sym:
-      return Expr::symbol(e.name());
-    case CodeOp::Add:
-    case CodeOp::Sub:
-    case CodeOp::Mul: {
-      auto a = code_to_sym(e.args()[0]);
-      auto b = code_to_sym(e.args()[1]);
-      if (!a || !b) return std::nullopt;
-      if (e.op() == CodeOp::Add) return *a + *b;
-      if (e.op() == CodeOp::Sub) return *a - *b;
-      return *a * *b;
-    }
-    case CodeOp::Neg: {
-      auto a = code_to_sym(e.args()[0]);
-      if (!a) return std::nullopt;
-      return -*a;
-    }
-    case CodeOp::Min:
-    case CodeOp::Max: {
-      auto a = code_to_sym(e.args()[0]);
-      auto b = code_to_sym(e.args()[1]);
-      if (!a || !b) return std::nullopt;
-      return e.op() == CodeOp::Min ? sym::min(*a, *b) : sym::max(*a, *b);
-    }
-    default:
-      return std::nullopt;
-  }
+  // Shared with the analyses; lives next to to_code in ir/code_expr.cpp
+  // (and now understands Div/Mod/Floor, so loops with such bounds are
+  // analyzed instead of silently skipped).
+  return ir::code_to_sym(e);
 }
 
 namespace {
@@ -85,7 +57,7 @@ std::optional<Loop> detect_loop(const SDFG& sdfg, int guard) {
       L.e_body = oi;
       L.body = e.dst;
       L.var = e.condition.args()[0].name();
-      auto end = code_to_sym(e.condition.args()[1]);
+      auto end = ir::code_to_sym(e.condition.args()[1]);
       if (!end) return std::nullopt;
       L.end = *end;
     } else {
@@ -392,7 +364,22 @@ bool loop_to_map(SDFG& sdfg) {
       for (const auto& w : writes) {
         Subset w2 = w.subs({{L->var, shifted}});
         auto dj = Subset::disjoint(w, w2);
-        if (!dj || !*dj) disjoint_iters = false;
+        if (!dj || !*dj) {
+          // The purely syntactic test loses factored separations like
+          // A[i*K : i*K+K] vs the d-shifted copy (distance K*d needs the
+          // fact d >= 1).  Retry with the interval prover under d >= 1
+          // plus the symbol ranges known at the body state.  DACE_ABSINT=0
+          // disables the retry (seed-conservative behavior).
+          namespace absint = analysis::absint;
+          if (absint::mode() == absint::Mode::Off) {
+            disjoint_iters = false;
+          } else {
+            absint::Env env = absint::SymbolRanges::compute(sdfg).at(L->body);
+            env["__l2m_d"] = absint::Interval::at_least(Expr(int64_t{1}));
+            auto dj2 = absint::proves_disjoint(w, w2, env);
+            if (!dj2 || !*dj2) disjoint_iters = false;
+          }
+        }
       }
       bool rw_same = true;
       if (auto it = sets.reads.find(name); it != sets.reads.end()) {

@@ -39,6 +39,35 @@ def axpy(alpha: dace.float64, x: dace.float64[N], y: dace.float64[N]):
     EXPECT_NEAR(y.get_flat(i), 2.5 * x.get_flat(i) + y0.get_flat(i), 1e-12);
 }
 
+TEST(Executor, PostStateHookObservesEveryState) {
+  // The hook fires once per executed state with the live symbol values --
+  // the fuzz sentinel checks build on this contract.
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    for i in range(N):
+        A[i] += 1.0
+)");
+  const int64_t n = 4;
+  Tensor A = random_tensor({n}, 5);
+  Bindings args{{"A", A}};
+  rt::ExecutorOptions opts;
+  int states = 0;
+  int body_visits = 0;
+  opts.post_state_hook = [&](const ir::State& st, const sym::SymbolMap& syms) {
+    ++states;
+    if (st.label().rfind("for_body", 0) == 0) {
+      ++body_visits;
+      auto it = syms.find("i");
+      ASSERT_NE(it, syms.end());
+      EXPECT_EQ(it->second, body_visits - 1);
+    }
+  };
+  rt::execute(*sdfg, args, {{"N", n}}, opts);
+  EXPECT_EQ(body_visits, n);
+  EXPECT_GT(states, body_visits);
+}
+
 TEST(Executor, GemmMatchesReference) {
   auto sdfg = compile_to_sdfg(R"(
 @dace.program

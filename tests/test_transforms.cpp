@@ -259,6 +259,74 @@ def f(out: dace.float64[M], inp: dace.float64[M + K], w: dace.float64[K]):
                     {{"M", 20}, {"K", 5}}, {"out"});
 }
 
+TEST(LoopToMap, ConvertsDivBoundedLoop) {
+  // `range(N // 2)` puts Floor(Div(N, 2)) into the guard condition:
+  // code_to_sym must lower Div/Floor to floor division for detect_loop
+  // to recognize the trip count (regression: Div used to be
+  // unsupported, silently pinning such loops to Tier 0).
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N]):
+    for i in range(N // 2):
+        A[i] += 1.0
+)");
+  xf::simplify(*sdfg);
+  auto base = sdfg->clone();
+  EXPECT_EQ(xf::apply_repeated(*sdfg, xf::loop_to_map), 1);
+  EXPECT_GE(count_toplevel_maps(*sdfg), 1);
+  // N = 11: exactly A[0..4] gets incremented (11 // 2 = 5).
+  expect_equivalent(*base, *sdfg, {{"A", {11}}}, {{"N", 11}}, {"A"});
+}
+
+TEST(LoopToMap, FactoredDisjointWritesConvert) {
+  // Each iteration writes the block A[i*K : i*K+K].  The syntactic
+  // Subset::disjoint test cannot separate consecutive blocks (the
+  // distance K*d only exceeds the block length K given d >= 1), so the
+  // seed refused this loop; the absint interval prover discharges it.
+  using ir::CodeExpr;
+  using ir::CodeOp;
+  using sym::Expr;
+  using sym::Range;
+  using sym::S;
+  auto g = std::make_unique<ir::SDFG>("blocked");
+  g->add_symbol("D");
+  g->add_symbol("K");
+  g->add_array("A", ir::DType::f64, {S("D") * S("K")});
+  g->add_array("B", ir::DType::f64, {S("D") * S("K")});
+  g->add_arg("A");
+  g->add_arg("B");
+  g->add_state("init", true);
+  g->add_state("guard");
+  g->add_state("body");
+  g->add_state("done");
+  CodeExpr cond = CodeExpr::binary(CodeOp::Lt, CodeExpr::symbol("i"),
+                                   CodeExpr::symbol("D"));
+  g->add_interstate_edge(0, 1, CodeExpr(), {{"i", Expr(0)}});
+  g->add_interstate_edge(1, 2, cond);
+  g->add_interstate_edge(2, 1, CodeExpr(), {{"i", S("i") + Expr(1)}});
+  g->add_interstate_edge(1, 3, CodeExpr::unary(CodeOp::Not, cond));
+  // Body: inner map over j copies B[i*K+j]*2 into A[i*K+j]; the outer
+  // memlets carry the per-iteration block [i*K, i*K+K).
+  ir::State& b = g->state(2);
+  int na = b.add_access("A");
+  int nb = b.add_access("B");
+  auto [me, mx] = b.add_map("blk", {"j"}, sym::Subset({Range(Expr(0), S("K"))}));
+  int tl = b.add_tasklet("t", {"x"},
+                         CodeExpr::input("x") * CodeExpr::constant(2.0));
+  sym::Subset block({Range(S("i") * S("K"), S("i") * S("K") + S("K"))});
+  b.add_edge(nb, "", me, "IN_B", ir::Memlet("B", block));
+  b.add_edge(me, "OUT_B", tl, "x",
+             ir::Memlet("B", sym::Subset::element({S("i") * S("K") + S("j")})));
+  b.add_edge(tl, "__out", mx, "IN_A",
+             ir::Memlet("A", sym::Subset::element({S("i") * S("K") + S("j")})));
+  b.add_edge(mx, "OUT_A", na, "", ir::Memlet("A", block));
+  auto base = g->clone();
+  EXPECT_EQ(xf::apply_repeated(*g, xf::loop_to_map), 1);
+  EXPECT_GE(count_toplevel_maps(*g), 1);
+  expect_equivalent(*base, *g, {{"A", {12}}, {"B", {12}}},
+                    {{"D", 3}, {"K", 4}}, {"A"});
+}
+
 TEST(MapCollapse, MergesNestedMaps) {
   auto sdfg = compile_to_sdfg(R"(
 @dace.program

@@ -290,6 +290,15 @@ struct PassAgg {
   int64_t rolled_back = 0;
 };
 
+// Static-analysis spans (cat "analysis"): detect_races, check_bounds,
+// analyze_defuse and the absint interval framework each wrap themselves
+// in OBS_SPAN("analysis", <name>).
+struct AnalysisAgg {
+  std::string name;
+  double total_ms = 0;
+  int64_t runs = 0;
+};
+
 struct RankAgg {
   int rank = 0;
   int64_t comm_ops = 0;
@@ -301,6 +310,7 @@ struct Report {
   size_t events = 0;
   std::vector<NodeAgg> nodes;        // sorted hottest-first
   std::vector<PassAgg> passes;       // first-seen order
+  std::vector<AnalysisAgg> analyses;  // first-seen order
   double parse_ms = 0;
   double lower_ms = 0;
   int64_t lowered_functions = 0;
@@ -339,6 +349,7 @@ Report aggregate(const JV& doc) {
   Report r;
   std::map<std::string, NodeAgg> nodes;
   std::vector<PassAgg> passes;
+  std::vector<AnalysisAgg> analyses;
   std::map<int, RankAgg> ranks;
   // (end ts, name) of every committed pass, for last-rewrite attribution.
   std::vector<std::pair<double, std::string>> committed_passes;
@@ -430,6 +441,18 @@ Report aggregate(const JV& doc) {
           args->get("rolled_back")->as_bool()) {
         ++pa->rolled_back;
       }
+    } else if (cat == "analysis" && ph == 'X') {
+      AnalysisAgg* aa = nullptr;
+      for (auto& a : analyses) {
+        if (a.name == name) aa = &a;
+      }
+      if (!aa) {
+        analyses.push_back(AnalysisAgg{});
+        aa = &analyses.back();
+        aa->name = name;
+      }
+      aa->total_ms += dur / 1000.0;
+      ++aa->runs;
     } else if (cat == "frontend" && ph == 'X') {
       if (name == "parse") r.parse_ms += dur / 1000.0;
       if (name == "lower") {
@@ -467,6 +490,7 @@ Report aggregate(const JV& doc) {
               return a.name < b.name;
             });
   r.passes = std::move(passes);
+  r.analyses = std::move(analyses);
   for (auto& [rk, ra] : ranks) {
     (void)rk;
     r.ranks.push_back(ra);
@@ -521,6 +545,17 @@ std::string render_text(const Report& r, int top) {
                "  %-24s %10.3f ms  runs=%lld applied=%lld committed=%lld\n",
                p.name.c_str(), p.total_ms, (long long)p.runs,
                (long long)p.applied, (long long)p.committed);
+      os << line;
+    }
+  }
+  if (!r.analyses.empty()) {
+    double total = 0;
+    for (const auto& a : r.analyses) total += a.total_ms;
+    snprintf(line, sizeof(line), "analyses (%.3f ms total):\n", total);
+    os << line;
+    for (const auto& a : r.analyses) {
+      snprintf(line, sizeof(line), "  %-24s %10.3f ms  runs=%lld\n",
+               a.name.c_str(), a.total_ms, (long long)a.runs);
       os << line;
     }
   }
@@ -590,6 +625,16 @@ std::string render_json(const Report& r, const std::string& file, int top) {
        << ",\"committed\":" << p.committed
        << ",\"rolled_back\":" << p.rolled_back << "}";
   }
+  os << "],\"analyses\":[";
+  first = true;
+  for (const AnalysisAgg& a : r.analyses) {
+    if (!first) os << ",";
+    first = false;
+    char num[64];
+    snprintf(num, sizeof(num), "%.3f", a.total_ms);
+    os << "{\"name\":\"" << json_escape(a.name) << "\",\"total_ms\":" << num
+       << ",\"runs\":" << a.runs << "}";
+  }
   char num[64];
   snprintf(num, sizeof(num), "%.3f", r.parse_ms);
   os << "],\"frontend\":{\"parse_ms\":" << num;
@@ -629,6 +674,9 @@ const char* kSelftestTrace = R"TRACE({"traceEvents":[
 {"ph":"X","name":"lower","cat":"frontend","pid":0,"tid":0,"ts":1500,"dur":2500,"args":{"function":"stencil"}},
 {"ph":"X","name":"fuse_maps","cat":"pass","pid":0,"tid":0,"ts":4100,"dur":2000,"args":{"pipeline":"auto_optimize","applied":true,"committed":true,"rolled_back":false}},
 {"ph":"X","name":"tile_maps","cat":"pass","pid":0,"tid":0,"ts":6200,"dur":1000,"args":{"pipeline":"auto_optimize","applied":false,"committed":false,"rolled_back":false}},
+{"ph":"X","name":"race","cat":"analysis","pid":0,"tid":0,"ts":7200,"dur":400},
+{"ph":"X","name":"absint.ranges","cat":"analysis","pid":0,"tid":0,"ts":7600,"dur":200},
+{"ph":"X","name":"absint.ranges","cat":"analysis","pid":0,"tid":0,"ts":7800,"dur":100},
 {"ph":"X","name":"compile-map","cat":"executor","pid":0,"tid":0,"ts":8000,"dur":300,"args":{"map":"stencil","instructions":24}},
 {"ph":"X","name":"init","cat":"node","pid":0,"tid":0,"ts":9000,"dur":500,"args":{"kind":"map","state":0,"node":1,"tier":0,"iters":100,"instrs":400}},
 {"ph":"X","name":"stencil","cat":"node","pid":0,"tid":0,"ts":10000,"dur":4000,"args":{"kind":"map","state":1,"node":2,"tier":0,"iters":1000,"instrs":42000}},
@@ -655,6 +703,9 @@ const char* kSelftestGolden =
     "passes (1 committed, 0 rolled back, 3.000 ms total):\n"
     "  fuse_maps                     2.000 ms  runs=1 applied=1 committed=1\n"
     "  tile_maps                     1.000 ms  runs=1 applied=0 committed=0\n"
+    "analyses (0.700 ms total):\n"
+    "  race                          0.400 ms  runs=1\n"
+    "  absint.ranges                 0.300 ms  runs=2\n"
     "jit: 1 compiles (50.000 ms), 1 cache hits, 0 negative, 1 promotions; "
     "1 bytecode compiles (0.300 ms)\n"
     "virtual ranks:\n"
@@ -686,6 +737,12 @@ int selftest() {
   if (!nodes || nodes->kind != JV::Arr || nodes->arr.empty() ||
       nodes->arr[0].get("name")->as_str() != "stencil") {
     std::fprintf(stderr, "sdfg-prof selftest: bad --json output\n");
+    return 1;
+  }
+  const JV* analyses = jdoc.get("analyses");
+  if (!analyses || analyses->kind != JV::Arr || analyses->arr.size() != 2 ||
+      analyses->arr[0].get("name")->as_str() != "race") {
+    std::fprintf(stderr, "sdfg-prof selftest: bad analyses aggregation\n");
     return 1;
   }
   // Error paths: E502 (syntax), E503 (not a trace), E504 (bad event).
