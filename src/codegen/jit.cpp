@@ -17,7 +17,8 @@ namespace detail {
 LoadedObject build_and_load(const std::string& source,
                             const std::string& name,
                             const std::string& symbol,
-                            const std::string& compiler) {
+                            const std::string& compiler,
+                            const std::string& opt) {
   LoadedObject out;
   char dir[] = "/tmp/daceppXXXXXX";
   if (!mkdtemp(dir)) return out;
@@ -28,8 +29,8 @@ LoadedObject build_and_load(const std::string& source,
     std::ofstream f(cpp);
     f << source;
   }
-  std::string cmd = compiler + " -O2 -fPIC -shared -std=c++17 -o " + so +
-                    " " + cpp + " 2>" + base + ".log";
+  std::string cmd = compiler + " " + opt + " -fPIC -shared -std=c++17 -o " +
+                    so + " " + cpp + " 2>" + base + ".log";
   auto t0 = std::chrono::steady_clock::now();
   int rc = std::system(cmd.c_str());
   auto t1 = std::chrono::steady_clock::now();
@@ -109,8 +110,17 @@ CompiledMapNative compile_map_native(const rt::Program& prog,
                                      const std::string& compiler) {
   CompiledMapNative out;
   std::string src = generate_map_source(prog, dtypes, fn_name);
-  detail::LoadedObject obj =
-      detail::build_and_load(src, fn_name, fn_name, compiler);
+  // Planned kernels carry structured loops, __restrict__ and ivdep
+  // annotations the vectorizer can act on -- compile them at -O3 with
+  // the host ISA (the same level as hand-written reference kernels).
+  // -ffp-contract=off forbids FMA contraction so native results stay
+  // bit-identical to the VM's separate multiply/add.  Plan-off keeps
+  // the original -O2 goto pipeline; Program::hash separates the cache
+  // entries, and a compiler that rejects the flags just pins the
+  // program to Tier 0 (failure is never fatal).
+  detail::LoadedObject obj = detail::build_and_load(
+      src, fn_name, fn_name, compiler,
+      prog.kernel_plan ? "-O3 -march=native -ffp-contract=off" : "-O2");
   out.compile_seconds_ = obj.compile_seconds;
   out.handle_ = obj.handle;
   out.fn_ = reinterpret_cast<MapNativeFn>(obj.sym);

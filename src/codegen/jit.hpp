@@ -43,7 +43,8 @@ struct LoadedObject {
 LoadedObject build_and_load(const std::string& source,
                             const std::string& name,
                             const std::string& symbol,
-                            const std::string& compiler);
+                            const std::string& compiler,
+                            const std::string& opt = "-O2");
 }  // namespace detail
 
 class CompiledProgram {

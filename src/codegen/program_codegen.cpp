@@ -1,19 +1,30 @@
 // Lowers a Tier-0 bytecode program to standalone C++ (Tier 1 of the
 // tiered map executor).
 //
-// The translation is deliberately direct: one statement per instruction,
-// labels on jump targets, gotos for Jmp/JGe.  The host compiler
-// reconstructs the reducible loop nest from the gotos and applies its
-// full optimizer (strength reduction, unrolling, vectorization), which is
-// exactly the paper's argument for going through C++ instead of a
-// hand-rolled backend.  The generated entry point keeps the vm_run chunk
-// protocol -- splittable programs read their outer bounds from lo/hi --
-// so ThreadPool worksharing and the atomic WCR path are shared with the
-// interpreter verbatim.
+// Two emission strategies share one per-instruction translator:
+//
+//  - Plan-driven (default, DACE_KERNEL_PLAN=1): cg::plan_kernel
+//    reconstructs the canonical loop nest and the emitter prints
+//    structured `for` loops, sinks invariant-address WCR stores into
+//    register accumulators, unroll-and-jams the accumulator-carrying
+//    loop with per-lane register renaming, and unrolls innermost loops
+//    by the vector width with a scalar epilogue.  The host compiler sees
+//    countable loops over __restrict__ arrays and auto-vectorizes.
+//
+//  - Goto fallback (plan invalid or DACE_KERNEL_PLAN=0): one statement
+//    per instruction, labels on jump targets, gotos for Jmp/JGe -- the
+//    original deliberately-direct translation.
+//
+// Both keep the vm_run chunk protocol -- splittable programs read their
+// outer bounds from lo/hi -- so ThreadPool worksharing and the atomic
+// WCR path are shared with the interpreter verbatim.
+#include <functional>
 #include <map>
+#include <set>
 #include <sstream>
 
 #include "codegen/jit.hpp"
+#include "codegen/kernel_plan.hpp"
 #include "common/common.hpp"
 
 namespace dace::cg {
@@ -23,46 +34,54 @@ namespace {
 using rt::Instr;
 using rt::Op;
 
+/// Register spelling hook: maps (bank, index) to a C identifier.  The
+/// base spelling is i<r>/f<r>; jam lanes substitute lane-private names.
+using Ren = std::function<std::string(char, int)>;
+
+std::string base_name(char bank, int reg) {
+  return std::string(1, bank) + std::to_string(reg);
+}
+
 const char* fbin_expr(Op op) {
   switch (op) {
-    case Op::FAdd: return "f%a = f%b + f%c;";
-    case Op::FSub: return "f%a = f%b - f%c;";
-    case Op::FMul: return "f%a = f%b * f%c;";
-    case Op::FDiv: return "f%a = f%b / f%c;";
-    case Op::FPow: return "f%a = pow(f%b, f%c);";
-    case Op::FMod: return "f%a = dacepp_fmod(f%b, f%c);";
-    case Op::FMin: return "f%a = f%b < f%c ? f%b : f%c;";
-    case Op::FMax: return "f%a = f%b > f%c ? f%b : f%c;";
-    case Op::FLt: return "f%a = f%b < f%c ? 1.0 : 0.0;";
-    case Op::FLe: return "f%a = f%b <= f%c ? 1.0 : 0.0;";
-    case Op::FGt: return "f%a = f%b > f%c ? 1.0 : 0.0;";
-    case Op::FGe: return "f%a = f%b >= f%c ? 1.0 : 0.0;";
-    case Op::FEq: return "f%a = f%b == f%c ? 1.0 : 0.0;";
-    case Op::FNe: return "f%a = f%b != f%c ? 1.0 : 0.0;";
-    case Op::FAnd: return "f%a = (f%b != 0.0 && f%c != 0.0) ? 1.0 : 0.0;";
-    case Op::FOr: return "f%a = (f%b != 0.0 || f%c != 0.0) ? 1.0 : 0.0;";
+    case Op::FAdd: return "%a = %b + %c;";
+    case Op::FSub: return "%a = %b - %c;";
+    case Op::FMul: return "%a = %b * %c;";
+    case Op::FDiv: return "%a = %b / %c;";
+    case Op::FPow: return "%a = pow(%b, %c);";
+    case Op::FMod: return "%a = dacepp_fmod(%b, %c);";
+    case Op::FMin: return "%a = %b < %c ? %b : %c;";
+    case Op::FMax: return "%a = %b > %c ? %b : %c;";
+    case Op::FLt: return "%a = %b < %c ? 1.0 : 0.0;";
+    case Op::FLe: return "%a = %b <= %c ? 1.0 : 0.0;";
+    case Op::FGt: return "%a = %b > %c ? 1.0 : 0.0;";
+    case Op::FGe: return "%a = %b >= %c ? 1.0 : 0.0;";
+    case Op::FEq: return "%a = %b == %c ? 1.0 : 0.0;";
+    case Op::FNe: return "%a = %b != %c ? 1.0 : 0.0;";
+    case Op::FAnd: return "%a = (%b != 0.0 && %c != 0.0) ? 1.0 : 0.0;";
+    case Op::FOr: return "%a = (%b != 0.0 || %c != 0.0) ? 1.0 : 0.0;";
     default: return nullptr;
   }
 }
 
 const char* fun_expr(Op op) {
   switch (op) {
-    case Op::FNeg: return "f%a = -f%b;";
-    case Op::FAbs: return "f%a = fabs(f%b);";
-    case Op::FExp: return "f%a = exp(f%b);";
-    case Op::FLog: return "f%a = log(f%b);";
-    case Op::FSqrt: return "f%a = sqrt(f%b);";
-    case Op::FSin: return "f%a = sin(f%b);";
-    case Op::FCos: return "f%a = cos(f%b);";
-    case Op::FTanh: return "f%a = tanh(f%b);";
-    case Op::FFloor: return "f%a = floor(f%b);";
-    case Op::FNot: return "f%a = f%b == 0.0 ? 1.0 : 0.0;";
+    case Op::FNeg: return "%a = -%b;";
+    case Op::FAbs: return "%a = fabs(%b);";
+    case Op::FExp: return "%a = exp(%b);";
+    case Op::FLog: return "%a = log(%b);";
+    case Op::FSqrt: return "%a = sqrt(%b);";
+    case Op::FSin: return "%a = sin(%b);";
+    case Op::FCos: return "%a = cos(%b);";
+    case Op::FTanh: return "%a = tanh(%b);";
+    case Op::FFloor: return "%a = floor(%b);";
+    case Op::FNot: return "%a = %b == 0.0 ? 1.0 : 0.0;";
     default: return nullptr;
   }
 }
 
-/// Expand the %a/%b/%c placeholders of an instruction template.
-std::string expand(const char* tpl, const Instr& in) {
+/// Expand the %a/%b/%c placeholders (all float registers) of a template.
+std::string expand(const char* tpl, const Instr& in, const Ren& ren) {
   std::string out;
   for (const char* p = tpl; *p; ++p) {
     if (*p != '%') {
@@ -71,9 +90,9 @@ std::string expand(const char* tpl, const Instr& in) {
     }
     ++p;
     switch (*p) {
-      case 'a': out += std::to_string(in.a); break;
-      case 'b': out += std::to_string(in.b); break;
-      case 'c': out += std::to_string(in.c); break;
+      case 'a': out += ren('f', in.a); break;
+      case 'b': out += ren('f', in.b); break;
+      case 'c': out += ren('f', in.c); break;
       default: out.push_back(*p); break;
     }
   }
@@ -91,6 +110,386 @@ std::string store_cast(ir::DType dt, const std::string& v) {
   }
   return v;
 }
+
+const char* wcr_identity(int kind) {
+  switch (kind) {
+    case 1: return "0.0";
+    case 2: return "1.0";
+    case 3: return "HUGE_VAL";
+    default: return "-HUGE_VAL";
+  }
+}
+
+/// Shared per-instruction translator.  `sunk` maps StoreWcr pcs to the
+/// accumulator variable currently standing in for their array slot.
+class InstrPrinter {
+ public:
+  InstrPrinter(const rt::Program& prog, const std::vector<ir::DType>& dtypes)
+      : prog_(prog), dtypes_(dtypes) {}
+
+  std::map<size_t, std::string> sunk;
+
+  std::string stmt(size_t pc, const Ren& ren) const {
+    const Instr& in = prog_.code[pc];
+    std::ostringstream os;
+    auto I = [&](int r) { return ren('i', r); };
+    auto F = [&](int r) { return ren('f', r); };
+    switch (in.op) {
+      case Op::IConst:
+        os << I(in.a) << " = " << in.imm << "LL;";
+        break;
+      case Op::ISym:
+        os << I(in.a) << " = s[" << in.imm << "];";
+        break;
+      case Op::IMov:
+        os << I(in.a) << " = " << I(in.b) << ";";
+        break;
+      case Op::IAdd:
+        os << I(in.a) << " = " << I(in.b) << " + " << I(in.c) << ";";
+        break;
+      case Op::ISub:
+        os << I(in.a) << " = " << I(in.b) << " - " << I(in.c) << ";";
+        break;
+      case Op::IMul:
+        os << I(in.a) << " = " << I(in.b) << " * " << I(in.c) << ";";
+        break;
+      case Op::IFloorDiv:
+        os << I(in.a) << " = dacepp_floordiv(" << I(in.b) << ", " << I(in.c)
+           << ");";
+        break;
+      case Op::IMod:
+        os << I(in.a) << " = " << I(in.b) << " - dacepp_floordiv(" << I(in.b)
+           << ", " << I(in.c) << ") * " << I(in.c) << ";";
+        break;
+      case Op::IMin:
+        os << I(in.a) << " = " << I(in.b) << " < " << I(in.c) << " ? "
+           << I(in.b) << " : " << I(in.c) << ";";
+        break;
+      case Op::IMax:
+        os << I(in.a) << " = " << I(in.b) << " > " << I(in.c) << " ? "
+           << I(in.b) << " : " << I(in.c) << ";";
+        break;
+      case Op::FConst: {
+        char buf[64];
+        snprintf(buf, sizeof(buf), "%.17g", in.fimm);
+        os << F(in.a) << " = " << buf << ";";
+        break;
+      }
+      case Op::FSym:
+        os << F(in.a) << " = (double)s[" << in.imm << "];";
+        break;
+      case Op::FFromI:
+        os << F(in.a) << " = (double)" << I(in.b) << ";";
+        break;
+      case Op::Load:
+        os << F(in.a) << " = A" << in.imm << "[" << I(in.b) << "];";
+        break;
+      case Op::Store:
+        os << "A" << in.imm << "[" << I(in.b)
+           << "] = " << store_cast(dtypes_[(size_t)in.imm], F(in.a)) << ";";
+        break;
+      case Op::StoreWcr: {
+        std::string v = F(in.a);
+        if (auto it = sunk.find(pc); it != sunk.end()) {
+          const std::string& acc = it->second;
+          switch (in.c) {
+            case 1: os << acc << " += " << v << ";"; break;
+            case 2: os << acc << " *= " << v << ";"; break;
+            case 3:
+              os << "if (" << v << " < " << acc << ") " << acc << " = " << v
+                 << ";";
+              break;
+            default:
+              os << "if (" << v << " > " << acc << ") " << acc << " = " << v
+                 << ";";
+              break;
+          }
+          break;
+        }
+        os << wcr_apply(in, v, ren);
+        break;
+      }
+      case Op::FSelect:
+        os << F(in.a) << " = " << F(in.b) << " != 0.0 ? " << F(in.c) << " : "
+           << F((int)in.imm) << ";";
+        break;
+      case Op::Guard:
+        os << "if (" << I(in.a) << " < 0 || " << I(in.a) << " >= " << I(in.b)
+           << ") { if (err) *err = " << in.imm << "LL + 1; return; }";
+        break;
+      case Op::Halt:
+        os << "return;";
+        break;
+      case Op::Jmp:
+      case Op::JGe:
+        DACE_CHECK(false, "map codegen: stray jump in structured emission");
+        break;
+      default: {
+        const char* tpl = fbin_expr(in.op);
+        if (!tpl) tpl = fun_expr(in.op);
+        DACE_CHECK(tpl != nullptr, "map codegen: unsupported opcode");
+        os << expand(tpl, in, ren);
+        break;
+      }
+    }
+    return os.str();
+  }
+
+  /// The memory-side WCR application (also used for sunk combines).
+  std::string wcr_apply(const Instr& in, const std::string& v,
+                        const Ren& ren) const {
+    std::string addr =
+        "A" + std::to_string(in.imm) + " + " + ren('i', in.b);
+    std::ostringstream os;
+    if (in.flag) {
+      os << "dacepp_wcr_atomic(" << addr << ", " << v << ", " << (int)in.c
+         << ");";
+      return os.str();
+    }
+    switch (in.c) {
+      case 1: os << "*(" << addr << ") += " << v << ";"; break;
+      case 2: os << "*(" << addr << ") *= " << v << ";"; break;
+      case 3:
+        os << "{ double* p = " << addr << "; if (" << v << " < *p) *p = " << v
+           << "; }";
+        break;
+      default:
+        os << "{ double* p = " << addr << "; if (" << v << " > *p) *p = " << v
+           << "; }";
+        break;
+    }
+    return os.str();
+  }
+
+ private:
+  const rt::Program& prog_;
+  const std::vector<ir::DType>& dtypes_;
+};
+
+/// Structured emitter executing a KernelPlan.
+class PlanEmitter {
+ public:
+  PlanEmitter(const rt::Program& prog, const std::vector<ir::DType>& dtypes,
+              const KernelPlan& plan, std::ostream& os)
+      : prog_(prog), plan_(plan), os_(os), pr_(prog, dtypes) {}
+
+  /// Function-top declarations for jam-lane private registers (lane 0
+  /// reuses the base registers; lanes >= 1 get _l<lane> copies).
+  void emit_lane_decls() {
+    std::set<std::string> seen;
+    for (const PlanLoop& J : plan_.loops) {
+      if (J.jam <= 1) continue;
+      for (int lane = 1; lane < J.jam; ++lane) {
+        for (auto [bank, reg] : J.renames) {
+          std::string n = base_name(bank, reg) + "_l" + std::to_string(lane);
+          if (!seen.insert(n).second) continue;
+          if (bank == 'i')
+            os_ << "  long long " << n << " = 0; (void)" << n << ";\n";
+          else
+            os_ << "  double " << n << " = 0.0; (void)" << n << ";\n";
+        }
+      }
+    }
+  }
+
+  void emit() {
+    emit_range(0, prog_.code.size());
+  }
+
+ private:
+  const rt::Program& prog_;
+  const KernelPlan& plan_;
+  std::ostream& os_;
+  InstrPrinter pr_;
+  int decl_id_ = 0;
+
+  Ren base_ren() const {
+    return [](char bank, int reg) { return base_name(bank, reg); };
+  }
+
+  /// Lane rename for a jam loop: lane-private registers (body defs and
+  /// latch induction targets) get the _l<lane> suffix; lane 0 and shared
+  /// registers keep base names.
+  Ren lane_ren(const PlanLoop& J, const std::vector<int>& latch_targets,
+               int lane) const {
+    if (lane == 0) return base_ren();
+    auto renames = J.renames;  // by value: the Ren outlives this frame
+    return [renames, latch_targets, lane](char bank, int reg) {
+      bool priv = false;
+      for (auto [b, r] : renames) priv |= b == bank && r == reg;
+      if (bank == 'i')
+        for (int t : latch_targets) priv |= t == reg;
+      std::string n = base_name(bank, reg);
+      return priv ? n + "_l" + std::to_string(lane) : n;
+    };
+  }
+
+  void emit_range(size_t lo, size_t hi) {
+    Ren ren = base_ren();
+    size_t pc = lo;
+    while (pc < hi) {
+      int li = plan_.loop_at(pc);
+      if (li >= 0) {
+        emit_loop(li);
+        pc = plan_.loops[(size_t)li].latch + 1;
+        continue;
+      }
+      os_ << "  " << pr_.stmt(pc, ren) << "\n";
+      ++pc;
+    }
+  }
+
+  void emit_loop(int li) {
+    const PlanLoop& L = plan_.loops[(size_t)li];
+    if (L.jam > 1)
+      emit_jam(li);
+    else
+      emit_plain(li);
+  }
+
+  /// Body statements then latch increments, with nested loops dispatched
+  /// recursively.  `only_straight` asserts the range holds no loops (jam
+  /// pre/post ranges).
+  void emit_body_and_latch(const PlanLoop& L, const Ren& ren) {
+    size_t pc = L.header + 1;
+    while (pc < L.latch_begin) {
+      int ci = plan_.loop_at(pc);
+      if (ci >= 0) {
+        emit_loop(ci);
+        pc = plan_.loops[(size_t)ci].latch + 1;
+        continue;
+      }
+      os_ << "  " << pr_.stmt(pc, ren) << "\n";
+      ++pc;
+    }
+    for (pc = L.latch_begin; pc < L.latch; ++pc)
+      os_ << "  " << pr_.stmt(pc, ren) << "\n";
+  }
+
+  void emit_straight(size_t lo, size_t hi, const Ren& ren) {
+    for (size_t pc = lo; pc < hi; ++pc)
+      os_ << "  " << pr_.stmt(pc, ren) << "\n";
+  }
+
+  void emit_sink_decls(const PlanLoop& L, const Ren& ren, int id,
+                       const std::string& lane_tag) {
+    for (size_t spc : L.sinks) {
+      const Instr& in = prog_.code[spc];
+      std::string acc = "acc" + std::to_string(spc) + "_" +
+                        std::to_string(id) + lane_tag;
+      os_ << "  double " << acc << " = " << wcr_identity(in.c) << ";\n";
+      pr_.sunk[spc] = acc;
+      (void)ren;
+    }
+  }
+
+  /// Apply each sunk accumulator to memory once.  Guarded by the caller
+  /// on "the loop ran at least once" so zero-trip nests touch nothing.
+  void emit_combines(const PlanLoop& L, const Ren& ren, int id,
+                     const std::string& lane_tag) {
+    for (size_t spc : L.sinks) {
+      const Instr& in = prog_.code[spc];
+      std::string acc = "acc" + std::to_string(spc) + "_" +
+                        std::to_string(id) + lane_tag;
+      os_ << "    " << pr_.wcr_apply(in, acc, ren) << "\n";
+    }
+  }
+
+  void emit_plain(int li) {
+    const PlanLoop& L = plan_.loops[(size_t)li];
+    Ren ren = base_ren();
+    std::string v = ren('i', L.var);
+    std::string e = ren('i', L.end_reg);
+    int id = -1;
+    if (!L.sinks.empty()) {
+      id = decl_id_++;
+      emit_sink_decls(L, ren, id, "");
+      os_ << "  long long vst" << id << " = " << v << ";\n";
+    }
+    if (L.unroll > 1) {
+      os_ << "  for (; " << v << " + " << (L.unroll - 1) * L.const_step
+          << " < " << e << "; ) {\n";
+      for (int u = 0; u < L.unroll; ++u) emit_body_and_latch(L, ren);
+      os_ << "  }\n";
+    }
+    if (L.innermost() && prog_.vec_innermost && !L.has_guard)
+      os_ << "  #pragma GCC ivdep\n";
+    os_ << "  for (; " << v << " < " << e << "; ) {\n";
+    emit_body_and_latch(L, ren);
+    os_ << "  }\n";
+    if (id >= 0) {
+      os_ << "  if (" << v << " != vst" << id << ") {\n";
+      emit_combines(L, ren, id, "");
+      os_ << "  }\n";
+      for (size_t spc : L.sinks) pr_.sunk.erase(spc);
+    }
+  }
+
+  /// Unroll-and-jam: interleave `jam` iterations of J lane by lane.  Each
+  /// lane runs on private copies of J's body registers; induction
+  /// registers are rematerialized per fused iteration as base + lane *
+  /// delta, and the shared latch advances every induction register by
+  /// jam * delta.  The inner loop K is fused across lanes on lane 0's
+  /// counter (the planner proved identical trip counts), giving the host
+  /// compiler `jam` independent accumulator chains.  The remainder
+  /// (< jam iterations) runs through the plain emitter.
+  void emit_jam(int ji) {
+    const PlanLoop& J = plan_.loops[(size_t)ji];
+    const PlanLoop& K = plan_.loops[(size_t)J.children[0]];
+    int U = J.jam;
+
+    std::vector<std::pair<int, int>> incs;  // (target reg, delta reg)
+    std::vector<int> latch_targets;
+    for (size_t pc = J.latch_begin; pc < J.latch; ++pc) {
+      incs.push_back({prog_.code[pc].a, prog_.code[pc].c});
+      latch_targets.push_back(prog_.code[pc].a);
+    }
+
+    std::vector<Ren> lanes;
+    for (int l = 0; l < U; ++l)
+      lanes.push_back(lane_ren(J, latch_targets, l));
+    Ren base = base_ren();
+    std::string vJ = base('i', J.var);
+
+    os_ << "  for (; " << vJ << " + " << (int64_t)(U - 1) * J.const_step
+        << " < " << base('i', J.end_reg) << "; ) {\n";
+    for (int l = 1; l < U; ++l)
+      for (auto [r, d] : incs)
+        os_ << "  long long " << lanes[(size_t)l]('i', r) << " = "
+            << base('i', r) << " + " << l << " * " << base('i', d) << ";\n";
+    // Pre-range: everything in J's body before the inner loop, per lane.
+    for (int l = 0; l < U; ++l)
+      emit_straight(J.header + 1, K.header, lanes[(size_t)l]);
+    int id = decl_id_++;
+    for (int l = 0; l < U; ++l)
+      emit_sink_decls(K, lanes[(size_t)l], id, "_j" + std::to_string(l));
+    std::string vK = lanes[0]('i', K.var);
+    os_ << "  long long vst" << id << " = " << vK << ";\n";
+    os_ << "  for (; " << vK << " < " << base('i', K.end_reg) << "; ) {\n";
+    for (int l = 0; l < U; ++l) {
+      // Lane acc names were installed per lane; re-point the sunk map.
+      for (size_t spc : K.sinks)
+        pr_.sunk[spc] = "acc" + std::to_string(spc) + "_" +
+                        std::to_string(id) + "_j" + std::to_string(l);
+      emit_straight(K.header + 1, K.latch, lanes[(size_t)l]);
+    }
+    os_ << "  }\n";
+    os_ << "  if (" << vK << " != vst" << id << ") {\n";
+    for (int l = 0; l < U; ++l)
+      emit_combines(K, lanes[(size_t)l], id, "_j" + std::to_string(l));
+    os_ << "  }\n";
+    for (size_t spc : K.sinks) pr_.sunk.erase(spc);
+    // Post-range: the rest of J's body after the inner loop, per lane.
+    for (int l = 0; l < U; ++l)
+      emit_straight(K.latch + 1, J.latch_begin, lanes[(size_t)l]);
+    for (auto [r, d] : incs)
+      os_ << "  " << base('i', r) << " += " << U << " * " << base('i', d)
+          << ";\n";
+    os_ << "  }\n";
+
+    emit_plain(ji);
+  }
+};
 
 }  // namespace
 
@@ -153,6 +552,19 @@ std::string generate_map_source(const rt::Program& prog,
     os << "  double f" << r << " = 0.0; (void)f" << r << ";\n";
   }
 
+  // Plan-driven structured emission; the goto translation below stays
+  // the fallback for irreducible shapes and DACE_KERNEL_PLAN=0.
+  if (prog.kernel_plan) {
+    KernelPlan plan = plan_kernel(prog);
+    if (plan.valid) {
+      PlanEmitter em(prog, dtypes, plan, os);
+      em.emit_lane_decls();
+      em.emit();
+      os << "  return;\n}\n";
+      return os.str();
+    }
+  }
+
   // Structured innermost loops: when interval analysis proved the
   // innermost loop free of loop-carried dependences (vec_innermost), the
   // canonical counted-loop shape
@@ -203,6 +615,8 @@ std::string generate_map_source(const rt::Program& prog,
       is_target[(size_t)in.imm] = true;
   }
 
+  InstrPrinter printer(prog, dtypes);
+  Ren base = [](char bank, int reg) { return base_name(bank, reg); };
   size_t open_latch = SIZE_MAX;  // latch pc of the currently open `for`
   for (size_t pc = 0; pc < prog.code.size(); ++pc) {
     const Instr& in = prog.code[pc];
@@ -223,40 +637,6 @@ std::string generate_map_source(const rt::Program& prog,
     }
     os << "  ";
     switch (in.op) {
-      case Op::IConst:
-        os << "i" << in.a << " = " << in.imm << "LL;";
-        break;
-      case Op::ISym:
-        os << "i" << in.a << " = s[" << in.imm << "];";
-        break;
-      case Op::IMov:
-        os << "i" << in.a << " = i" << in.b << ";";
-        break;
-      case Op::IAdd:
-        os << "i" << in.a << " = i" << in.b << " + i" << in.c << ";";
-        break;
-      case Op::ISub:
-        os << "i" << in.a << " = i" << in.b << " - i" << in.c << ";";
-        break;
-      case Op::IMul:
-        os << "i" << in.a << " = i" << in.b << " * i" << in.c << ";";
-        break;
-      case Op::IFloorDiv:
-        os << "i" << in.a << " = dacepp_floordiv(i" << in.b << ", i" << in.c
-           << ");";
-        break;
-      case Op::IMod:
-        os << "i" << in.a << " = i" << in.b << " - dacepp_floordiv(i" << in.b
-           << ", i" << in.c << ") * i" << in.c << ";";
-        break;
-      case Op::IMin:
-        os << "i" << in.a << " = i" << in.b << " < i" << in.c << " ? i"
-           << in.b << " : i" << in.c << ";";
-        break;
-      case Op::IMax:
-        os << "i" << in.a << " = i" << in.b << " > i" << in.c << " ? i"
-           << in.b << " : i" << in.c << ";";
-        break;
       case Op::Jmp:
         os << "goto L" << in.imm << ";";
         break;
@@ -264,68 +644,9 @@ std::string generate_map_source(const rt::Program& prog,
         os << "if (i" << in.a << " >= i" << in.b << ") goto L" << in.imm
            << ";";
         break;
-      case Op::FConst: {
-        char buf[64];
-        snprintf(buf, sizeof(buf), "%.17g", in.fimm);
-        os << "f" << in.a << " = " << buf << ";";
+      default:
+        os << printer.stmt(pc, base);
         break;
-      }
-      case Op::FSym:
-        os << "f" << in.a << " = (double)s[" << in.imm << "];";
-        break;
-      case Op::FFromI:
-        os << "f" << in.a << " = (double)i" << in.b << ";";
-        break;
-      case Op::Load:
-        os << "f" << in.a << " = A" << in.imm << "[i" << in.b << "];";
-        break;
-      case Op::Store: {
-        std::string v = "f" + std::to_string(in.a);
-        os << "A" << in.imm << "[i" << in.b
-           << "] = " << store_cast(dtypes[(size_t)in.imm], v) << ";";
-        break;
-      }
-      case Op::StoreWcr: {
-        std::string addr =
-            "A" + std::to_string(in.imm) + " + i" + std::to_string(in.b);
-        std::string v = "f" + std::to_string(in.a);
-        if (in.flag) {
-          os << "dacepp_wcr_atomic(" << addr << ", " << v << ", " << (int)in.c
-             << ");";
-        } else {
-          switch (in.c) {
-            case 1: os << "*(" << addr << ") += " << v << ";"; break;
-            case 2: os << "*(" << addr << ") *= " << v << ";"; break;
-            case 3:
-              os << "{ double* p = " << addr << "; if (" << v
-                 << " < *p) *p = " << v << "; }";
-              break;
-            default:
-              os << "{ double* p = " << addr << "; if (" << v
-                 << " > *p) *p = " << v << "; }";
-              break;
-          }
-        }
-        break;
-      }
-      case Op::FSelect:
-        os << "f" << in.a << " = f" << in.b << " != 0.0 ? f" << in.c << " : f"
-           << in.imm << ";";
-        break;
-      case Op::Guard:
-        os << "if (i" << in.a << " < 0 || i" << in.a << " >= i" << in.b
-           << ") { if (err) *err = " << in.imm << "LL + 1; return; }";
-        break;
-      case Op::Halt:
-        os << "return;";
-        break;
-      default: {
-        const char* tpl = fbin_expr(in.op);
-        if (!tpl) tpl = fun_expr(in.op);
-        DACE_CHECK(tpl != nullptr, "map codegen: unsupported opcode");
-        os << expand(tpl, in);
-        break;
-      }
     }
     os << "\n";
   }

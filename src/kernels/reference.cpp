@@ -365,6 +365,21 @@ void nbody(Bindings& b, const Sym& s) {
   }
 }
 
+void matmul(Bindings& b, const Sym& s) {
+  int64_t ni = S(s, "NI"), nj = S(s, "NJ"), nk = S(s, "NK");
+  double* A = P(b, "A");
+  double* B = P(b, "B");
+  double* C = P(b, "C");
+  // i-k-j order; C accumulates into its initial contents (the kernel is
+  // a pure WCR map, there is no C = 0 phase).
+  for (int64_t i = 0; i < ni; ++i) {
+    for (int64_t k = 0; k < nk; ++k) {
+      double av = A[i * nk + k];
+      for (int64_t j = 0; j < nj; ++j) C[i * nj + j] += av * B[k * nj + j];
+    }
+  }
+}
+
 void go_fast(Bindings& b, const Sym& s) {
   int64_t n = S(s, "N");
   double* a = P(b, "a");

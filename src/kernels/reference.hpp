@@ -29,6 +29,7 @@ void covariance(Bindings& b, const Sym& s);
 void softmax(Bindings& b, const Sym& s);
 void resnet_conv(Bindings& b, const Sym& s);
 void nbody(Bindings& b, const Sym& s);
+void matmul(Bindings& b, const Sym& s);
 void go_fast(Bindings& b, const Sym& s);
 
 }  // namespace dace::kernels::ref

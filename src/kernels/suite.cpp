@@ -520,6 +520,33 @@ def nbody(x: dace.float64[N], y: dace.float64[N], m: dace.float64[N],
       },
       ref::nbody, /*gpu=*/false, /*fpga=*/false, /*distributed=*/false});
 
+  // ---------------------------------------------------------------- matmul
+  // Explicit-map matrix multiply with a WCR accumulation over k: the
+  // canonical register-tiling target for the Tier-1 kernel planner
+  // (gemm above goes through the MatMul library node instead).  C is
+  // accumulated into, not overwritten.
+  ks.push_back(Kernel{
+      "matmul",
+      R"(
+@dace.program
+def matmul(A: dace.float64[NI, NK], B: dace.float64[NK, NJ],
+           C: dace.float64[NI, NJ]):
+    for i, j, k in dace.map[0:NI, 0:NJ, 0:NK]:
+        C[i, j] += A[i, k] * B[k, j]
+)",
+      {"C"},
+      {{"test", {{"NI", 12}, {"NJ", 14}, {"NK", 10}}},
+       {"paper", {{"NI", 192}, {"NJ", 192}, {"NK", 192}}},
+       {"fpga", {{"NI", 32}, {"NJ", 32}, {"NK", 32}}}},
+      [](const Sym& s) {
+        Bindings b;
+        b.emplace("A", pat({s.at("NI"), s.at("NK")}, 60));
+        b.emplace("B", pat({s.at("NK"), s.at("NJ")}, 61));
+        b.emplace("C", pat({s.at("NI"), s.at("NJ")}, 62));
+        return b;
+      },
+      ref::matmul, /*gpu=*/false, /*fpga=*/false, /*distributed=*/false});
+
   // --------------------------------------------------------------- go_fast
   // The Numba five-minute-guide example [3].
   ks.push_back(Kernel{

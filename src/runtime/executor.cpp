@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "analysis/analysis.hpp"
+#include "codegen/kernel_plan.hpp"
 #include "common/diag.hpp"
 #include "common/obs.hpp"
 #include "runtime/bytecode_opt.hpp"
@@ -291,6 +292,55 @@ void Executor::execute_tasklet(const ir::State& st, int node) {
   }
 }
 
+namespace {
+
+int64_t env_ns(const char* name, int64_t dflt) {
+  if (const char* v = std::getenv(name)) {
+    long long x = std::atoll(v);
+    if (x > 0) return x;
+  }
+  return dflt;
+}
+
+// Chunk-grain knobs: a chunk should carry about CHUNK_TARGET_NS of work,
+// and a map cheaper than CHUNK_MIN_NS in total is not worth a dispatch.
+int64_t chunk_target_ns() {
+  static int64_t v = env_ns("DACE_CHUNK_TARGET_NS", 100000);
+  return v;
+}
+int64_t chunk_min_ns() {
+  static int64_t v = env_ns("DACE_CHUNK_MIN_NS", 20000);
+  return v;
+}
+
+}  // namespace
+
+int Executor::plan_chunks(const TieredProgram& tp, int tier, int64_t iters) {
+  int nt = ThreadPool::global().num_threads();
+  if (!tp.prog.kernel_plan) return nt;  // legacy static split
+  double nspi = tp.ns_per_iter[tier];
+  if (nspi <= 0.0) {
+    // Pre-measurement heuristic: cost scales with bytecode length;
+    // native code retires an "instruction" far faster than the VM.
+    nspi = (double)tp.prog.code.size() * (tier == 1 ? 0.4 : 2.5);
+  }
+  double total = nspi * (double)iters;
+  if (total < (double)chunk_min_ns()) return 1;
+  double per_chunk = (double)chunk_target_ns();
+  int chunks = (int)((total + per_chunk - 1.0) / per_chunk);
+  chunks = std::max(chunks, 1);
+  chunks = (int)std::min<int64_t>(chunks, iters);
+  return std::min(chunks, nt);
+}
+
+void Executor::update_cost(TieredProgram& tp, int tier, int64_t iters,
+                           int64_t dur_ns) {
+  if (iters <= 0 || dur_ns <= 0) return;
+  double nspi = (double)dur_ns / (double)iters;
+  double& ema = tp.ns_per_iter[tier];
+  ema = ema <= 0.0 ? nspi : 0.5 * ema + 0.5 * nspi;
+}
+
 void Executor::execute_map(const ir::State& st, int node, int* tier_used,
                            int64_t* iters_out) {
   *tier_used = 0;
@@ -397,7 +447,9 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
       ++native_launches_;
       *tier_used = 1;
       std::atomic<int64_t> guard_err{0};
-      if (!parallel) {
+      int chunks = parallel ? plan_chunks(tp, 1, iters) : 1;
+      int64_t t0 = obs::now_ns();
+      if (!parallel || chunks <= 1) {
         int64_t e = 0;
         if (prog.splittable) {
           fn(bases.data(), symvals.data(), begin, end, &e);
@@ -406,12 +458,33 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
         }
         if (e) guard_err.store(e, std::memory_order_relaxed);
       } else {
-        ThreadPool::global().parallel_for(iters, [&](int64_t lo, int64_t hi) {
-          int64_t e = 0;
-          fn(bases.data(), symvals.data(), begin + lo * step,
-             begin + hi * step, &e);
-          if (e) guard_err.store(e, std::memory_order_relaxed);
-        });
+        ThreadPool::global().parallel_for(
+            iters, chunks, [&](int64_t lo, int64_t hi) {
+              int64_t e = 0;
+              fn(bases.data(), symvals.data(), begin + lo * step,
+                 begin + hi * step, &e);
+              if (e) guard_err.store(e, std::memory_order_relaxed);
+            });
+      }
+      update_cost(tp, 1, iters, obs::now_ns() - t0);
+      if (!tp.plan_reported && obs::enabled()) {
+        tp.plan_reported = true;
+        cg::KernelPlan plan;
+        if (prog.kernel_plan) plan = cg::plan_kernel(prog);
+        int jam = 1, unroll = 1;
+        size_t sinks = 0;
+        for (const auto& l : plan.loops) {
+          jam = std::max(jam, l.jam);
+          unroll = std::max(unroll, l.unroll);
+          sinks += l.sinks.size();
+        }
+        std::ostringstream a;
+        a << "{\"map\":\"" << diag::json_escape(me->name) << "\",\"plan\":\""
+          << plan.describe() << "\",\"jam\":" << jam
+          << ",\"unroll\":" << unroll << ",\"sinks\":" << sinks
+          << ",\"chunks\":" << chunks << ",\"ns_per_iter\":"
+          << tp.ns_per_iter[1] << "}";
+        obs::instant("tier", "kernel-plan", a.str());
       }
       if (int64_t e = guard_err.load(std::memory_order_relaxed)) {
         throw err("map guard: out-of-range access on array '",
@@ -423,32 +496,37 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
   }
 
   VMStats* stats = opts_.collect_stats ? &stats_ : nullptr;
+  int64_t t0 = obs::now_ns();
   if (!parallel) {
     if (prog.splittable) {
       vm_run(prog, arrays, symvals, begin, end, stats);
     } else {
       vm_run(prog, arrays, symvals, 0, 0, stats);
     }
+    update_cost(tp, 0, iters, obs::now_ns() - t0);
     return;
   }
   // Guard traps inside worker threads must not unwind through the pool;
   // capture the first error and rethrow on the calling thread.
   std::mutex stats_mu;
   std::string guard_msg;
-  ThreadPool::global().parallel_for(iters, [&](int64_t lo, int64_t hi) {
-    VMStats local;
-    try {
-      vm_run(prog, arrays, symvals, begin + lo * step, begin + hi * step,
-             stats ? &local : nullptr);
-    } catch (const std::exception& ex) {
-      std::lock_guard<std::mutex> lk(stats_mu);
-      if (guard_msg.empty()) guard_msg = ex.what();
-    }
-    if (stats) {
-      std::lock_guard<std::mutex> lk(stats_mu);
-      *stats += local;
-    }
-  });
+  int chunks = plan_chunks(tp, 0, iters);
+  ThreadPool::global().parallel_for(
+      iters, chunks, [&](int64_t lo, int64_t hi) {
+        VMStats local;
+        try {
+          vm_run(prog, arrays, symvals, begin + lo * step, begin + hi * step,
+                 stats ? &local : nullptr);
+        } catch (const std::exception& ex) {
+          std::lock_guard<std::mutex> lk(stats_mu);
+          if (guard_msg.empty()) guard_msg = ex.what();
+        }
+        if (stats) {
+          std::lock_guard<std::mutex> lk(stats_mu);
+          *stats += local;
+        }
+      });
+  update_cost(tp, 0, iters, obs::now_ns() - t0);
   if (!guard_msg.empty()) throw err(guard_msg);
 }
 

@@ -127,7 +127,22 @@ class Executor {
     int64_t iterations = 0;      // cumulative, drives promotion
     bool native_failed = false;  // pinned to Tier 0 after a failed build
     std::shared_ptr<NativeProgram> native;
+    // Measured per-iteration cost (EMA over launches, ns), indexed by
+    // tier (0 = VM, 1 = native); 0 = not yet measured.  Feeds the
+    // cost-driven chunk scheduler.
+    double ns_per_iter[2] = {0.0, 0.0};
+    bool plan_reported = false;  // kernel-plan obs instant emitted once
   };
+
+  /// Cost-driven chunk count for a parallel dispatch at `tier`: sized so
+  /// each chunk runs ~DACE_CHUNK_TARGET_NS of measured (or estimated)
+  /// work, 1 when the whole map is cheaper than DACE_CHUNK_MIN_NS (the
+  /// pool is then skipped entirely).  Plan-off programs keep the
+  /// historical one-chunk-per-worker split.
+  static int plan_chunks(const TieredProgram& tp, int tier, int64_t iters);
+  /// Fold a measured launch into the per-iteration cost EMA.
+  static void update_cost(TieredProgram& tp, int tier, int64_t iters,
+                          int64_t dur_ns);
 
   const ir::SDFG& sdfg_;
   ExecutorOptions opts_;

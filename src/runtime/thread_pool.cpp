@@ -30,7 +30,14 @@ void ThreadPool::worker_loop(int index) {
     function_ref<void(int)> job;
     {
       std::unique_lock<std::mutex> lk(mu_);
-      cv_start_.wait(lk, [&] { return stop_ || generation_ != seen; });
+      // Generations dispatched to fewer workers than the pool holds are
+      // acknowledged (seen advances) without running the job or touching
+      // pending_ -- spectator workers go straight back to sleep.
+      cv_start_.wait(lk, [&] {
+        while (!stop_ && generation_ != seen && index >= active_)
+          seen = generation_;
+        return stop_ || generation_ != seen;
+      });
       if (stop_) return;
       seen = generation_;
       job = job_;
@@ -45,15 +52,12 @@ void ThreadPool::worker_loop(int index) {
   }
 }
 
-void ThreadPool::run_on_all(function_ref<void(int)> body) {
-  if (num_threads_ == 1 || in_parallel_region_) {
-    for (int i = 0; i < num_threads_; ++i) body(i);
-    return;
-  }
+void ThreadPool::run_on(int k, function_ref<void(int)> body) {
   {
     std::lock_guard<std::mutex> lk(mu_);
     job_ = body;
-    pending_ = num_threads_ - 1;
+    active_ = k;
+    pending_ = k - 1;
     ++generation_;
   }
   cv_start_.notify_all();
@@ -64,19 +68,41 @@ void ThreadPool::run_on_all(function_ref<void(int)> body) {
   cv_done_.wait(lk, [&] { return pending_ == 0; });
 }
 
-void ThreadPool::parallel_for(int64_t n,
+void ThreadPool::run_on_all(function_ref<void(int)> body) {
+  if (num_threads_ == 1 || in_parallel_region_) {
+    for (int i = 0; i < num_threads_; ++i) body(i);
+    return;
+  }
+  run_on(num_threads_, body);
+}
+
+void ThreadPool::parallel_for(int64_t n, int chunks,
                               function_ref<void(int64_t, int64_t)> body) {
   if (n <= 0) return;
-  if (num_threads_ == 1 || in_parallel_region_ || n < 2 * num_threads_) {
+  chunks = (int)std::min<int64_t>(chunks, n);  // never an empty range
+  chunks = std::min(chunks, num_threads_);
+  if (chunks <= 1 || num_threads_ == 1 || in_parallel_region_) {
     body(0, n);
     return;
   }
-  int64_t chunk = (n + num_threads_ - 1) / num_threads_;
-  run_on_all([&](int w) {
-    int64_t b = std::min<int64_t>(n, w * chunk);
-    int64_t e = std::min<int64_t>(n, b + chunk);
-    if (b < e) body(b, e);
+  // Balanced split: the first n % chunks ranges get one extra iteration,
+  // so range sizes differ by at most one and none is empty.
+  int64_t q = n / chunks, r = n % chunks;
+  run_on(chunks, [&](int w) {
+    int64_t b = w * q + std::min<int64_t>(w, r);
+    int64_t e = b + q + (w < r ? 1 : 0);
+    body(b, e);
   });
+}
+
+void ThreadPool::parallel_for(int64_t n,
+                              function_ref<void(int64_t, int64_t)> body) {
+  if (n <= 0) return;
+  if (n < 2 * num_threads_) {  // historical inline threshold
+    body(0, n);
+    return;
+  }
+  parallel_for(n, num_threads_, body);
 }
 
 ThreadPool& ThreadPool::global() {

@@ -67,6 +67,14 @@ class ThreadPool {
   /// The calling thread participates. Nested calls run inline.
   void parallel_for(int64_t n, function_ref<void(int64_t, int64_t)> body);
 
+  /// Run body over [0, n) split into `chunks` contiguous ranges handed
+  /// to distinct workers.  The chunk count is clamped to [1, min(n,
+  /// num_threads())], so no worker is ever woken for an empty range --
+  /// callers pass a cost-derived count and the pool never oversubscribes.
+  /// chunks <= 1 (and nested calls) run body(0, n) inline.
+  void parallel_for(int64_t n, int chunks,
+                    function_ref<void(int64_t, int64_t)> body);
+
   /// Run body(worker_index) once on every worker (SPMD-style).
   void run_on_all(function_ref<void(int)> body);
 
@@ -75,6 +83,10 @@ class ThreadPool {
 
  private:
   void worker_loop(int index);
+  /// Dispatch job_ to workers [0, k); workers >= k skip the generation
+  /// without touching the job.  Caller runs index 0 and blocks for the
+  /// rest.  Precondition: k >= 2, not nested, num_threads_ > 1.
+  void run_on(int k, function_ref<void(int)> body);
 
   int num_threads_;
   std::vector<std::thread> workers_;
@@ -82,6 +94,7 @@ class ThreadPool {
   std::condition_variable cv_start_, cv_done_;
   function_ref<void(int)> job_;  // worker index -> work
   uint64_t generation_ = 0;
+  int active_ = 0;  // workers participating in the current generation
   int pending_ = 0;
   bool stop_ = false;
   static thread_local bool in_parallel_region_;

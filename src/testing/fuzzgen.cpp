@@ -336,6 +336,7 @@ const char* config_name(Config c) {
     case Config::Tier0VM: return "tier0-vm";
     case Config::OptimizedVM: return "optimized-vm";
     case Config::AutoOpt: return "auto-opt";
+    case Config::Tier1Native: return "tier1-native";
   }
   return "?";
 }
@@ -395,6 +396,19 @@ ConfigOut run_one(Config c, const std::string& src,
         rt::execute(*sdfg, r.outputs, syms);
         break;
       }
+      case Config::Tier1Native: {
+        // Promote every map synchronously on first launch so the native
+        // (kernel-plan) codegen actually executes; maps the host
+        // compiler rejects fall back to the VM, which still agrees.
+        EnvGuard bc("DACEPP_BC_OPT", "1");
+        EnvGuard jit("DACEPP_JIT", "1");
+        EnvGuard thr("DACEPP_JIT_THRESHOLD", "1");
+        EnvGuard sync("DACEPP_JIT_SYNC", "1");
+        auto sdfg = fe::compile_to_sdfg(src);
+        xf::auto_optimize(*sdfg, ir::DeviceType::CPU);
+        rt::execute(*sdfg, r.outputs, syms);
+        break;
+      }
     }
     r.ok = true;
   } catch (const Error& e) {
@@ -422,8 +436,11 @@ DiffResult run_differential(const std::string& source, uint64_t seed) {
     return out;
   }
 
-  const Config rest[] = {Config::Tier0VM, Config::OptimizedVM,
-                         Config::AutoOpt};
+  std::vector<Config> rest = {Config::Tier0VM, Config::OptimizedVM,
+                              Config::AutoOpt};
+  if (const char* t1 = std::getenv("DACE_FUZZ_TIER1");
+      t1 && t1[0] == '1' && t1[1] == '\0')
+    rest.push_back(Config::Tier1Native);
   for (Config c : rest) {
     ConfigOut r = run_one(c, source, inputs, syms);
     if (!r.ok && !r.contained) {

@@ -46,8 +46,11 @@ rt::Bindings make_inputs(uint64_t seed);
 rt::Bindings clone_bindings(const rt::Bindings& b);
 
 /// The execution configurations compared by the differential harness.
-enum class Config { Eager, Tier0VM, OptimizedVM, AutoOpt };
-constexpr int kNumConfigs = 4;
+/// Tier1Native (auto-opt + synchronous JIT promotion at threshold 1)
+/// only joins the comparison when DACE_FUZZ_TIER1=1: it needs a host
+/// compiler and exercises the kernel-plan codegen path end to end.
+enum class Config { Eager, Tier0VM, OptimizedVM, AutoOpt, Tier1Native };
+constexpr int kNumConfigs = 4;  // default configs (Tier1Native is opt-in)
 const char* config_name(Config c);
 
 /// How one differential run ended.

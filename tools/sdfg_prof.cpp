@@ -5,8 +5,9 @@
 // (docs/OBSERVABILITY.md).  This tool folds that event stream back into
 // the per-SDFG-node view: which maps dominated the runtime, how many
 // VM instructions they retired per iteration, which execution tier they
-// reached, and which optimization pass last rewrote the graph before
-// they ran.
+// reached, which optimization pass last rewrote the graph before they
+// ran, and -- for maps that reached the native tier -- what the kernel
+// planner chose (unroll/jam factors, WCR sinks, scheduler chunk grain).
 //
 //   sdfg-prof t.json            human-readable report
 //   sdfg-prof --json t.json     machine-readable (DiagSink-style JSON)
@@ -306,6 +307,19 @@ struct RankAgg {
   std::map<std::string, int64_t> faults;  // kind -> count
 };
 
+// Kernel-plan instants (cat "tier", name "kernel-plan"): the executor
+// emits one per program at its first native launch, describing what the
+// planner chose (codegen/kernel_plan.hpp) and the measured cost model.
+struct PlanAgg {
+  std::string map;
+  std::string plan;   // KernelPlan::describe(), e.g. "loops=3 jam=4 ..."
+  int64_t jam = 1;
+  int64_t unroll = 1;
+  int64_t sinks = 0;
+  int64_t chunks = 1;     // chunk count chosen by the cost scheduler
+  double ns_per_iter = 0;  // measured per-iteration cost (EMA)
+};
+
 struct Report {
   size_t events = 0;
   std::vector<NodeAgg> nodes;        // sorted hottest-first
@@ -321,6 +335,7 @@ struct Report {
   int64_t tier_promotions = 0;
   int64_t map_compiles = 0;          // bytecode (Tier-0) compilations
   double map_compile_ms = 0;
+  std::vector<PlanAgg> plans;        // first-seen order (one per program)
   std::vector<RankAgg> ranks;        // sorted by rank
 };
 
@@ -468,6 +483,17 @@ Report aggregate(const JV& doc) {
       } else if (name == "negative-cache-hit") {
         ++r.jit_negative_hits;
       }
+    } else if (cat == "tier" && name == "kernel-plan") {
+      PlanAgg pl;
+      pl.map = arg_str(args, "map");
+      pl.plan = arg_str(args, "plan");
+      pl.jam = arg_int(args, "jam");
+      pl.unroll = arg_int(args, "unroll");
+      pl.sinks = arg_int(args, "sinks");
+      pl.chunks = arg_int(args, "chunks");
+      if (args && args->get("ns_per_iter"))
+        pl.ns_per_iter = args->get("ns_per_iter")->as_num();
+      r.plans.push_back(std::move(pl));
     } else if (cat == "tier" && name == "promote") {
       ++r.tier_promotions;
     } else if (cat == "executor" && name == "compile-map" && ph == 'X') {
@@ -570,6 +596,18 @@ std::string render_text(const Report& r, int top) {
              r.map_compile_ms);
     os << line;
   }
+  if (!r.plans.empty()) {
+    os << "kernel plans (first native launch per map):\n";
+    for (const PlanAgg& p : r.plans) {
+      snprintf(line, sizeof(line),
+               "  %-24s %-32s jam=%lld unroll=%lld sinks=%lld chunks=%lld "
+               "ns/iter=%.1f\n",
+               p.map.c_str(), p.plan.c_str(), (long long)p.jam,
+               (long long)p.unroll, (long long)p.sinks, (long long)p.chunks,
+               p.ns_per_iter);
+      os << line;
+    }
+  }
   if (!r.ranks.empty()) {
     os << "virtual ranks:\n";
     for (const RankAgg& ra : r.ranks) {
@@ -645,7 +683,18 @@ std::string render_json(const Report& r, const std::string& file, int top) {
   os << ",\"compile_ms\":" << num << ",\"cache_hits\":" << r.jit_cache_hits
      << ",\"negative_hits\":" << r.jit_negative_hits
      << ",\"promotions\":" << r.tier_promotions
-     << ",\"bytecode_compiles\":" << r.map_compiles << "},\"ranks\":[";
+     << ",\"bytecode_compiles\":" << r.map_compiles << "},\"plans\":[";
+  first = true;
+  for (const PlanAgg& p : r.plans) {
+    if (!first) os << ",";
+    first = false;
+    snprintf(num, sizeof(num), "%.1f", p.ns_per_iter);
+    os << "{\"map\":\"" << json_escape(p.map) << "\",\"plan\":\""
+       << json_escape(p.plan) << "\",\"jam\":" << p.jam
+       << ",\"unroll\":" << p.unroll << ",\"sinks\":" << p.sinks
+       << ",\"chunks\":" << p.chunks << ",\"ns_per_iter\":" << num << "}";
+  }
+  os << "],\"ranks\":[";
   first = true;
   for (const RankAgg& ra : r.ranks) {
     if (!first) os << ",";
@@ -684,6 +733,7 @@ const char* kSelftestTrace = R"TRACE({"traceEvents":[
 {"ph":"X","name":"compile","cat":"jit","pid":0,"tid":1,"ts":14300,"dur":50000,"args":{"program":"dacepp_map_0000000000000001","ok":true}},
 {"ph":"i","name":"cache-hit","cat":"jit","pid":0,"tid":0,"ts":65000,"s":"t"},
 {"ph":"X","name":"stencil","cat":"node","pid":0,"tid":0,"ts":70000,"dur":1000,"args":{"kind":"map","state":1,"node":2,"tier":1,"iters":1000}},
+{"ph":"i","name":"kernel-plan","cat":"tier","pid":0,"tid":0,"ts":71000,"s":"t","args":{"map":"stencil","plan":"loops=3 jam=4 unroll=4 sink=1","jam":4,"unroll":4,"sinks":1,"chunks":8,"ns_per_iter":2.5}},
 {"ph":"i","name":"send","cat":"comm","pid":1,"tid":0,"ts":0,"s":"t","args":{"peer":1,"tag":5,"n":64}},
 {"ph":"i","name":"drop","cat":"fault","pid":1,"tid":0,"ts":0,"s":"t","args":{"peer":1,"tag":5,"bytes":512,"seq":0,"attempt":0}},
 {"ph":"i","name":"retransmit","cat":"comm","pid":1,"tid":0,"ts":1000,"s":"t","args":{"peer":1,"tag":5,"attempt":0,"backoff_s":0.001}},
@@ -708,6 +758,9 @@ const char* kSelftestGolden =
     "  absint.ranges                 0.300 ms  runs=2\n"
     "jit: 1 compiles (50.000 ms), 1 cache hits, 0 negative, 1 promotions; "
     "1 bytecode compiles (0.300 ms)\n"
+    "kernel plans (first native launch per map):\n"
+    "  stencil                  loops=3 jam=4 unroll=4 sink=1    "
+    "jam=4 unroll=4 sinks=1 chunks=8 ns/iter=2.5\n"
     "virtual ranks:\n"
     "  rank 0: 1 comm ops, 1 faults [drop=1], 1 retransmits\n"
     "  rank 1: 1 comm ops, 0 faults, 0 retransmits\n";
@@ -743,6 +796,14 @@ int selftest() {
   if (!analyses || analyses->kind != JV::Arr || analyses->arr.size() != 2 ||
       analyses->arr[0].get("name")->as_str() != "race") {
     std::fprintf(stderr, "sdfg-prof selftest: bad analyses aggregation\n");
+    return 1;
+  }
+  const JV* plans = jdoc.get("plans");
+  if (!plans || plans->kind != JV::Arr || plans->arr.size() != 1 ||
+      plans->arr[0].get("map")->as_str() != "stencil" ||
+      (int)plans->arr[0].get("jam")->as_num() != 4 ||
+      (int)plans->arr[0].get("chunks")->as_num() != 8) {
+    std::fprintf(stderr, "sdfg-prof selftest: bad kernel-plan aggregation\n");
     return 1;
   }
   // Error paths: E502 (syntax), E503 (not a trace), E504 (bad event).
