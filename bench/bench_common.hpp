@@ -6,7 +6,7 @@
 // spans land on the same timeline as runtime/JIT/pass spans when tracing
 // is enabled (DACE_TRACE_FILE=...).  Every *named* timing additionally
 // lands in a machine-readable JSON report written at process exit:
-// BENCH_5.json in the working directory, or $BENCH_JSON when set.  Keys
+// BENCH_8.json in the working directory, or $BENCH_JSON when set.  Keys
 // are the timing names, values are median nanoseconds.
 #pragma once
 
@@ -54,7 +54,7 @@ class JsonReport {
 
   void write() {
     const char* env = std::getenv("BENCH_JSON");
-    std::string path = env && *env ? env : "BENCH_5.json";
+    std::string path = env && *env ? env : "BENCH_8.json";
     std::lock_guard<std::mutex> lk(mu_);
     if (entries_.empty()) return;
     FILE* f = std::fopen(path.c_str(), "w");

@@ -20,6 +20,9 @@
 using namespace dace;
 
 int main() {
+  // Fig. 6 reports *compiler* time; a warm artifact cache would replace
+  // the host-compiler invocation with a dlopen and skew the distribution.
+  setenv("DACE_CACHE", "0", 1);
   printf("=== Figure 6: total compilation time distributions ===\n");
   struct Sample {
     std::string kernel;

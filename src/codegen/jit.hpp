@@ -33,18 +33,24 @@ using MapNativeFn = void (*)(double* const* arrays, const int64_t* syms,
                              int64_t lo, int64_t hi, int64_t* err);
 
 namespace detail {
-/// Shared build pipeline: write `source`, compile to a shared object,
-/// dlopen, dlsym `symbol`. On any failure the handle is null.
+/// Shared build pipeline: probe the persistent artifact cache
+/// (codegen/artifact_cache.*), and on a miss write `source`, compile a
+/// shared object in cache-managed scratch space, commit it, dlopen, and
+/// dlsym `symbol`. On any failure the handle is null.  A broken or
+/// disabled cache degrades to a plain build -- never to a failure.
 struct LoadedObject {
   void* handle = nullptr;
   void* sym = nullptr;
   double compile_seconds = 0;
+  bool cache_hit = false;  // loaded from the persistent artifact cache
 };
 LoadedObject build_and_load(const std::string& source,
                             const std::string& name,
                             const std::string& symbol,
                             const std::string& compiler,
-                            const std::string& opt = "-O2");
+                            const std::string& opt = "-O2",
+                            uint64_t program_hash = 0,
+                            const std::string& dtypes = "");
 }  // namespace detail
 
 class CompiledProgram {

@@ -9,6 +9,7 @@
 #include <thread>
 #include <tuple>
 
+#include "codegen/artifact_cache.hpp"
 #include "common/obs.hpp"
 
 namespace dace::rt {
@@ -64,6 +65,10 @@ void compile_into(std::shared_ptr<NativeProgram> native, Program prog,
       std::lock_guard<std::mutex> lock(c.mu);
       c.failed.insert({prog.hash(), compiler});
     }
+    // Persist the verdict so the next process skips the doomed probe too
+    // (TTL-bounded; a repaired toolchain is re-probed after expiry).
+    cg::cache::ArtifactCache::instance().negative_store(
+        prog.hash(), compiler, "tier1 build failed");
     native->state.store(NativeProgram::kFailed, std::memory_order_release);
   }
 }
@@ -109,6 +114,19 @@ std::shared_ptr<NativeProgram> request_native(
       OBS_INSTANT("jit", "negative-cache-hit");
       return dead;
     }
+  }
+  // In-memory miss: consult the persistent negative cache before paying
+  // for a build -- a compiler known bad on this machine (within the TTL)
+  // fails the request without forking the toolchain.
+  if (cg::cache::ArtifactCache::instance().negative_lookup(prog.hash(),
+                                                           cfg.compiler)) {
+    std::lock_guard<std::mutex> lock(c.mu);
+    c.failed.insert({prog.hash(), cfg.compiler});
+    auto dead = std::make_shared<NativeProgram>();
+    dead->state.store(NativeProgram::kFailed, std::memory_order_release);
+    auto [it, inserted] = c.entries.emplace(key, dead);
+    OBS_INSTANT("jit", "negative-cache-hit");
+    return it->second;  // a racing compile may have won the slot; honor it
   }
   auto native = std::make_shared<NativeProgram>();
   {

@@ -320,6 +320,27 @@ struct PlanAgg {
   double ns_per_iter = 0;  // measured per-iteration cost (EMA)
 };
 
+/// Aggregated persistent artifact-cache activity (cat "cache",
+/// codegen/artifact_cache.*).
+struct CacheAgg {
+  int64_t hits = 0;
+  int64_t misses = 0;
+  int64_t commits = 0;
+  int64_t corrupt_rejected = 0;
+  int64_t evictions = 0;
+  int64_t negative_hits = 0;
+  int64_t negative_stores = 0;
+  int64_t faults = 0;  // injected filesystem faults (chaos shim)
+  int64_t errors = 0;  // lock timeouts, write errors, init failures
+  double lookup_ms = 0;
+  double commit_ms = 0;
+
+  bool any() const {
+    return hits || misses || commits || corrupt_rejected || evictions ||
+           negative_hits || negative_stores || faults || errors;
+  }
+};
+
 struct Report {
   size_t events = 0;
   std::vector<NodeAgg> nodes;        // sorted hottest-first
@@ -337,6 +358,7 @@ struct Report {
   double map_compile_ms = 0;
   std::vector<PlanAgg> plans;        // first-seen order (one per program)
   std::vector<RankAgg> ranks;        // sorted by rank
+  CacheAgg cache;
 };
 
 int64_t arg_int(const JV* args, const char* key) {
@@ -499,6 +521,33 @@ Report aggregate(const JV& doc) {
     } else if (cat == "executor" && name == "compile-map" && ph == 'X') {
       ++r.map_compiles;
       r.map_compile_ms += dur / 1000.0;
+    } else if (cat == "cache") {
+      // "lookup"/"commit" are spans; everything else is an instant
+      // ("commit" appears as both -- the span covers the protocol, the
+      // instant marks the publish).
+      if (ph == 'X') {
+        if (name == "lookup") r.cache.lookup_ms += dur / 1000.0;
+        if (name == "commit") r.cache.commit_ms += dur / 1000.0;
+      } else if (name == "hit") {
+        ++r.cache.hits;
+      } else if (name == "miss") {
+        ++r.cache.misses;
+      } else if (name == "commit") {
+        ++r.cache.commits;
+      } else if (name == "corrupt-reject") {
+        ++r.cache.corrupt_rejected;
+      } else if (name == "evict") {
+        ++r.cache.evictions;
+      } else if (name == "negative-hit") {
+        ++r.cache.negative_hits;
+      } else if (name == "negative-store") {
+        ++r.cache.negative_stores;
+      } else if (name == "fault") {
+        ++r.cache.faults;
+      } else if (name == "lock-timeout" || name == "write-error" ||
+                 name == "init-error") {
+        ++r.cache.errors;
+      }
     }
   }
 
@@ -596,6 +645,18 @@ std::string render_text(const Report& r, int top) {
              r.map_compile_ms);
     os << line;
   }
+  if (r.cache.any()) {
+    snprintf(line, sizeof(line),
+             "artifact cache: %lld hits, %lld misses, %lld commits "
+             "(%.3f ms), %lld corrupt-rejected, %lld evicted, "
+             "%lld negative hits, %lld faults injected, %lld errors\n",
+             (long long)r.cache.hits, (long long)r.cache.misses,
+             (long long)r.cache.commits, r.cache.commit_ms,
+             (long long)r.cache.corrupt_rejected,
+             (long long)r.cache.evictions, (long long)r.cache.negative_hits,
+             (long long)r.cache.faults, (long long)r.cache.errors);
+    os << line;
+  }
   if (!r.plans.empty()) {
     os << "kernel plans (first native launch per map):\n";
     for (const PlanAgg& p : r.plans) {
@@ -683,7 +744,19 @@ std::string render_json(const Report& r, const std::string& file, int top) {
   os << ",\"compile_ms\":" << num << ",\"cache_hits\":" << r.jit_cache_hits
      << ",\"negative_hits\":" << r.jit_negative_hits
      << ",\"promotions\":" << r.tier_promotions
-     << ",\"bytecode_compiles\":" << r.map_compiles << "},\"plans\":[";
+     << ",\"bytecode_compiles\":" << r.map_compiles
+     << "},\"cache\":{\"hits\":" << r.cache.hits
+     << ",\"misses\":" << r.cache.misses << ",\"commits\":" << r.cache.commits;
+  snprintf(num, sizeof(num), "%.3f", r.cache.lookup_ms);
+  os << ",\"lookup_ms\":" << num;
+  snprintf(num, sizeof(num), "%.3f", r.cache.commit_ms);
+  os << ",\"commit_ms\":" << num
+     << ",\"corrupt_rejected\":" << r.cache.corrupt_rejected
+     << ",\"evictions\":" << r.cache.evictions
+     << ",\"negative_hits\":" << r.cache.negative_hits
+     << ",\"negative_stores\":" << r.cache.negative_stores
+     << ",\"faults\":" << r.cache.faults << ",\"errors\":" << r.cache.errors
+     << "},\"plans\":[";
   first = true;
   for (const PlanAgg& p : r.plans) {
     if (!first) os << ",";
@@ -732,6 +805,15 @@ const char* kSelftestTrace = R"TRACE({"traceEvents":[
 {"ph":"i","name":"promote","cat":"tier","pid":0,"tid":0,"ts":14200,"s":"t","args":{"map":"stencil","iterations":1000}},
 {"ph":"X","name":"compile","cat":"jit","pid":0,"tid":1,"ts":14300,"dur":50000,"args":{"program":"dacepp_map_0000000000000001","ok":true}},
 {"ph":"i","name":"cache-hit","cat":"jit","pid":0,"tid":0,"ts":65000,"s":"t"},
+{"ph":"X","name":"lookup","cat":"cache","pid":0,"tid":1,"ts":14310,"dur":200,"args":{"key":"00112233aabbccdd"}},
+{"ph":"i","name":"miss","cat":"cache","pid":0,"tid":1,"ts":14400,"s":"t","args":{"key":"00112233aabbccdd"}},
+{"ph":"X","name":"commit","cat":"cache","pid":0,"tid":1,"ts":64300,"dur":500,"args":{"key":"00112233aabbccdd"}},
+{"ph":"i","name":"commit","cat":"cache","pid":0,"tid":1,"ts":64700,"s":"t","args":{"key":"00112233aabbccdd","bytes":15136}},
+{"ph":"X","name":"lookup","cat":"cache","pid":0,"tid":0,"ts":65100,"dur":40,"args":{"key":"00112233aabbccdd"}},
+{"ph":"i","name":"hit","cat":"cache","pid":0,"tid":0,"ts":65130,"s":"t","args":{"key":"00112233aabbccdd"}},
+{"ph":"i","name":"corrupt-reject","cat":"cache","pid":0,"tid":0,"ts":66000,"s":"t","args":{"key":"ffeeddcc00112233","why":"checksum mismatch"}},
+{"ph":"i","name":"fault","cat":"cache","pid":0,"tid":0,"ts":66100,"s":"t","args":{"kind":"torn-write","op":3}},
+{"ph":"i","name":"negative-store","cat":"cache","pid":0,"tid":0,"ts":66200,"s":"t","args":{"program":"00000000000000ff"}},
 {"ph":"X","name":"stencil","cat":"node","pid":0,"tid":0,"ts":70000,"dur":1000,"args":{"kind":"map","state":1,"node":2,"tier":1,"iters":1000}},
 {"ph":"i","name":"kernel-plan","cat":"tier","pid":0,"tid":0,"ts":71000,"s":"t","args":{"map":"stencil","plan":"loops=3 jam=4 unroll=4 sink=1","jam":4,"unroll":4,"sinks":1,"chunks":8,"ns_per_iter":2.5}},
 {"ph":"i","name":"send","cat":"comm","pid":1,"tid":0,"ts":0,"s":"t","args":{"peer":1,"tag":5,"n":64}},
@@ -758,6 +840,9 @@ const char* kSelftestGolden =
     "  absint.ranges                 0.300 ms  runs=2\n"
     "jit: 1 compiles (50.000 ms), 1 cache hits, 0 negative, 1 promotions; "
     "1 bytecode compiles (0.300 ms)\n"
+    "artifact cache: 1 hits, 1 misses, 1 commits (0.500 ms), "
+    "1 corrupt-rejected, 0 evicted, 0 negative hits, 1 faults injected, "
+    "0 errors\n"
     "kernel plans (first native launch per map):\n"
     "  stencil                  loops=3 jam=4 unroll=4 sink=1    "
     "jam=4 unroll=4 sinks=1 chunks=8 ns/iter=2.5\n"
@@ -796,6 +881,17 @@ int selftest() {
   if (!analyses || analyses->kind != JV::Arr || analyses->arr.size() != 2 ||
       analyses->arr[0].get("name")->as_str() != "race") {
     std::fprintf(stderr, "sdfg-prof selftest: bad analyses aggregation\n");
+    return 1;
+  }
+  const JV* cache = jdoc.get("cache");
+  if (!cache || cache->kind != JV::Obj ||
+      (int)cache->get("hits")->as_num() != 1 ||
+      (int)cache->get("misses")->as_num() != 1 ||
+      (int)cache->get("commits")->as_num() != 1 ||
+      (int)cache->get("corrupt_rejected")->as_num() != 1 ||
+      (int)cache->get("negative_stores")->as_num() != 1 ||
+      (int)cache->get("faults")->as_num() != 1) {
+    std::fprintf(stderr, "sdfg-prof selftest: bad cache aggregation\n");
     return 1;
   }
   const JV* plans = jdoc.get("plans");
