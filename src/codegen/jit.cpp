@@ -3,6 +3,7 @@
 #include <dlfcn.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -12,6 +13,14 @@
 #include "codegen/codegen.hpp"
 
 namespace dace::cg {
+
+namespace {
+std::atomic<uint64_t> g_jit_compiles{0};
+}  // namespace
+
+uint64_t jit_compile_count() {
+  return g_jit_compiles.load(std::memory_order_relaxed);
+}
 
 namespace detail {
 
@@ -84,6 +93,7 @@ LoadedObject build_and_load(const std::string& source,
   std::string cmd = compiler + " " + opt + " -fPIC -shared -std=c++17 -o " +
                     so + " " + cpp + " 2>" + base + ".log";
   auto t0 = std::chrono::steady_clock::now();
+  g_jit_compiles.fetch_add(1, std::memory_order_relaxed);
   int rc = std::system(cmd.c_str());
   auto t1 = std::chrono::steady_clock::now();
   out.compile_seconds = std::chrono::duration<double>(t1 - t0).count();

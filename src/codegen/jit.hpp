@@ -53,6 +53,10 @@ LoadedObject build_and_load(const std::string& source,
                             const std::string& dtypes = "");
 }  // namespace detail
 
+/// Host-compiler invocations since process start (cache hits do not
+/// count).  sdfg-serve's dedup tests assert on deltas of this.
+uint64_t jit_compile_count();
+
 class CompiledProgram {
  public:
   CompiledProgram() = default;

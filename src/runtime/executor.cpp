@@ -148,6 +148,9 @@ void Executor::run(Bindings& args, const sym::SymbolMap& symbols) {
   int64_t steps = 0;
   const int64_t kMaxSteps = 100000000;
   while (cur >= 0) {
+    if (opts_.cancel_check && opts_.cancel_check()) {
+      throw err("cancelled: run aborted at state boundary");
+    }
     const ir::State& st = sdfg_.state(cur);
     // States are instrumented only via their explicit attribute; the
     // DACE_INSTRUMENT default applies at launch granularity.
@@ -384,6 +387,9 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
   }
 
   ++map_launches_;
+  if (opts_.cancel_check && opts_.cancel_check()) {
+    throw err("cancelled: map '", me->name, "' not dispatched");
+  }
   const sym::Range& r0 = me->range.range(0);
   int64_t begin = eval(r0.begin), end = eval(r0.end), step = eval(r0.step);
   int64_t iters = step > 0 ? (end - begin + step - 1) / step : 0;
@@ -447,6 +453,7 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
       ++native_launches_;
       *tier_used = 1;
       std::atomic<int64_t> guard_err{0};
+      std::atomic<bool> cancelled{false};
       int chunks = parallel ? plan_chunks(tp, 1, iters) : 1;
       int64_t t0 = obs::now_ns();
       if (!parallel || chunks <= 1) {
@@ -460,6 +467,14 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
       } else {
         ThreadPool::global().parallel_for(
             iters, chunks, [&](int64_t lo, int64_t hi) {
+              // Cooperative cancellation between chunks: skip remaining
+              // work, leave buffers intact, report after the barrier.
+              if (opts_.cancel_check &&
+                  (cancelled.load(std::memory_order_relaxed) ||
+                   opts_.cancel_check())) {
+                cancelled.store(true, std::memory_order_relaxed);
+                return;
+              }
               int64_t e = 0;
               fn(bases.data(), symvals.data(), begin + lo * step,
                  begin + hi * step, &e);
@@ -467,6 +482,9 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
             });
       }
       update_cost(tp, 1, iters, obs::now_ns() - t0);
+      if (cancelled.load(std::memory_order_relaxed)) {
+        throw err("cancelled: map '", me->name, "' abandoned mid-dispatch");
+      }
       if (!tp.plan_reported && obs::enabled()) {
         tp.plan_reported = true;
         cg::KernelPlan plan;
@@ -510,9 +528,16 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
   // capture the first error and rethrow on the calling thread.
   std::mutex stats_mu;
   std::string guard_msg;
+  std::atomic<bool> cancelled{false};
   int chunks = plan_chunks(tp, 0, iters);
   ThreadPool::global().parallel_for(
       iters, chunks, [&](int64_t lo, int64_t hi) {
+        if (opts_.cancel_check &&
+            (cancelled.load(std::memory_order_relaxed) ||
+             opts_.cancel_check())) {
+          cancelled.store(true, std::memory_order_relaxed);
+          return;
+        }
         VMStats local;
         try {
           vm_run(prog, arrays, symvals, begin + lo * step, begin + hi * step,
@@ -528,6 +553,9 @@ void Executor::execute_map(const ir::State& st, int node, int* tier_used,
       });
   update_cost(tp, 0, iters, obs::now_ns() - t0);
   if (!guard_msg.empty()) throw err(guard_msg);
+  if (cancelled.load(std::memory_order_relaxed)) {
+    throw err("cancelled: map '", me->name, "' abandoned mid-dispatch");
+  }
 }
 
 void Executor::execute_library(const ir::State& st, int node) {

@@ -59,6 +59,12 @@ struct ExecutorOptions {
   /// sentinel invariants (e.g. that statically-dead writes stay dead).
   std::function<void(const ir::State& st, const sym::SymbolMap& syms)>
       post_state_hook;
+  /// Cooperative cancellation: polled at state boundaries, before each
+  /// map dispatch, and between parallel map chunks (so it runs on pool
+  /// worker threads and must be thread-safe).  Returning true aborts the
+  /// run with dace::Error("cancelled: ...").  Tensors and the thread
+  /// pool stay reusable after a cancelled run (sdfg-serve deadlines).
+  std::function<bool()> cancel_check;
 };
 
 /// Compile a map scope into a VM program (exposed for the device

@@ -1,0 +1,99 @@
+#include "serve/client.hpp"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+
+#include "serve/server.hpp"  // default_socket_path
+
+namespace dace::serve {
+
+Client::Client(ClientOptions opts) : opts_(std::move(opts)) {
+  path_ = opts_.socket_path.empty() ? default_socket_path()
+                                    : opts_.socket_path;
+}
+
+Reply Client::run(const RunRequest& req) {
+  return request(Verb::Run, format_run_request(req), /*retry_shed=*/true);
+}
+
+Reply Client::stats() {
+  return request(Verb::Stats, "", /*retry_shed=*/false);
+}
+
+Reply Client::ping() {
+  return request(Verb::Ping, "", /*retry_shed=*/false);
+}
+
+Reply Client::request(Verb verb, const std::string& payload,
+                      bool retry_shed) {
+  Reply r;
+  int64_t backoff = std::max(opts_.backoff_ms, 1);
+  for (int attempt = 0; attempt <= opts_.retries; ++attempt) {
+    if (attempt > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(backoff));
+      backoff *= 2;
+    }
+    ++r.attempts;
+
+    int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+    if (fd < 0) {
+      r.code = "E603";
+      r.message = std::string("socket: ") + std::strerror(errno);
+      continue;
+    }
+    struct sockaddr_un sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sun_family = AF_UNIX;
+    std::strncpy(sa.sun_path, path_.c_str(), sizeof(sa.sun_path) - 1);
+    if (::connect(fd, (struct sockaddr*)&sa, sizeof(sa)) != 0) {
+      r.code = "E603";
+      r.message = "connect " + path_ + ": " + std::strerror(errno);
+      ::close(fd);
+      continue;
+    }
+
+    std::string why;
+    bool wrote = write_frame_faulty(fd, verb, payload, opts_.faults, &why);
+    if (!wrote) {
+      r.code = "E603";
+      r.message = "request write failed: " + why;
+      ::close(fd);
+      continue;
+    }
+
+    Decoded d = read_frame(fd, opts_.io_timeout_ms, opts_.max_payload());
+    ::close(fd);
+    if (d.status != Decoded::Ok) {
+      r.code = d.code.empty() ? "E603" : d.code;
+      r.message = d.message.empty() ? "connection closed before a reply"
+                                    : d.message;
+      continue;
+    }
+
+    r.payload = d.frame.payload;
+    if (d.frame.verb == Verb::ReplyOk) {
+      r.ok = true;
+      r.code.clear();
+      r.message.clear();
+      return r;
+    }
+    r.ok = false;
+    r.code = json_find_string(d.frame.payload, "code");
+    r.message = json_find_string(d.frame.payload, "message");
+    bool retryable = retry_shed && (r.code == "E607" || r.code == "E610");
+    if (!retryable) return r;
+    // Overload/drain: honor the server's pacing hint when it gave one.
+    int64_t hint = json_find_int(d.frame.payload, "retry_after_ms", -1);
+    if (hint > 0) backoff = std::max(backoff, hint);
+  }
+  return r;
+}
+
+}  // namespace dace::serve

@@ -1,0 +1,52 @@
+// sdfg-serve client library: one-request-per-connection calls with
+// timeout, bounded retry and exponential backoff.  E607 (overload shed)
+// and E610 (draining) replies are retried honoring the server's
+// retry_after_ms hint; transport failures (connect refused, torn reply)
+// retry with the client's own backoff.  The embedded ServeFaultPlan
+// makes the client double as the chaos driver: request writes go
+// through write_frame_faulty.
+#pragma once
+
+#include <string>
+
+#include "serve/protocol.hpp"
+
+namespace dace::serve {
+
+struct ClientOptions {
+  std::string socket_path;      // "" = default_socket_path()
+  int io_timeout_ms = 30000;    // reply wait bound per attempt
+  int retries = 3;              // extra attempts after the first
+  int backoff_ms = 20;          // initial backoff; doubles per retry
+  int max_frame_kb = 4096;      // reply payload cap
+  ServeFaultPlan faults;        // client-side write faults (chaos)
+
+  size_t max_payload() const { return (size_t)max_frame_kb * 1024; }
+};
+
+/// Outcome of one logical request (possibly several attempts).
+struct Reply {
+  bool ok = false;          // got a ReplyOk frame with status ok
+  std::string code;         // E6xx from the reply (or synthesized)
+  std::string message;      // error detail
+  std::string payload;      // raw reply payload JSON ("" if none arrived)
+  int attempts = 0;         // connections tried
+};
+
+class Client {
+ public:
+  explicit Client(ClientOptions opts = {});
+  const ClientOptions& options() const { return opts_; }
+  const std::string& socket_path() const { return path_; }
+
+  Reply run(const RunRequest& req);
+  Reply stats();
+  Reply ping();
+
+ private:
+  Reply request(Verb verb, const std::string& payload, bool retry_shed);
+  ClientOptions opts_;
+  std::string path_;
+};
+
+}  // namespace dace::serve

@@ -2,8 +2,10 @@
 // computed references.
 #include <gtest/gtest.h>
 
+#include <atomic>
 #include <random>
 
+#include "common/common.hpp"
 #include "frontend/lowering.hpp"
 #include "runtime/executor.hpp"
 #include "runtime/tensor_ops.hpp"
@@ -278,6 +280,55 @@ def f(A: dace.float64[N]):
   EXPECT_GE(ex.stats().loads, 32u);
   EXPECT_GE(ex.stats().stores, 32u);
   EXPECT_GE(ex.map_launches(), 1);
+}
+
+TEST(Executor, CancelCheckAbortsAndExecutorStaysReusable) {
+  // Cooperative cancellation (sdfg-serve deadlines): a cancel_check that
+  // trips mid-run aborts with a "cancelled" error, and the *same*
+  // executor, tensors, and thread pool run cleanly once it clears.
+  auto sdfg = compile_to_sdfg(R"(
+@dace.program
+def f(A: dace.float64[N], B: dace.float64[N]):
+    for i in dace.map[0:N]:
+        B[i] = 2.0 * A[i] + B[i]
+)");
+  const int64_t n = 1 << 16;
+  Tensor A = random_tensor({n}, 11);
+  Tensor B(ir::DType::f64, {n});
+  Bindings args{{"A", A}, {"B", B}};
+
+  std::atomic<bool> cancel{true};
+  rt::ExecutorOptions opts;
+  opts.cancel_check = [&] { return cancel.load(); };
+  rt::Executor ex(*sdfg, opts);
+  try {
+    ex.run(args, {{"N", n}});
+    FAIL() << "run must abort when cancel_check is armed";
+  } catch (const dace::Error& e) {
+    EXPECT_NE(std::string(e.what()).find("cancelled"), std::string::npos)
+        << e.what();
+  }
+
+  // Disarm and rerun on the same executor: full, correct output.
+  cancel.store(false);
+  for (int64_t i = 0; i < n; ++i) B.set_flat(i, 0.0);
+  ex.run(args, {{"N", n}});
+  for (int64_t i = 0; i < n; i += 997)
+    EXPECT_EQ(B.get_flat(i), 2.0 * A.get_flat(i));
+
+  // A check that arms only after the first poll (so the run is already
+  // past its first state boundary) must also abort -- and again leave
+  // everything reusable.
+  std::atomic<int> polls{0};
+  opts.cancel_check = [&] { return polls.fetch_add(1) > 0; };
+  rt::Executor ex2(*sdfg, opts);
+  EXPECT_THROW(ex2.run(args, {{"N", n}}), dace::Error);
+  opts.cancel_check = nullptr;
+  rt::Executor ex3(*sdfg, opts);
+  for (int64_t i = 0; i < n; ++i) B.set_flat(i, 0.0);
+  ex3.run(args, {{"N", n}});
+  for (int64_t i = 0; i < n; i += 997)
+    EXPECT_EQ(B.get_flat(i), 2.0 * A.get_flat(i));
 }
 
 // Parameterized sweep: the same program over many sizes (symbolic shape

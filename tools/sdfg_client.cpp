@@ -1,0 +1,305 @@
+// sdfg-client: submit compile-and-run jobs to a running sdfg-serve
+// daemon (src/serve/*).
+//
+// Usage:
+//   sdfg-client [--socket PATH] [--file F] [--function NAME] [--sym K=V]
+//               [--deadline-ms N] [--weight W] [--id ID] [--timeout-ms N]
+//               [--retries N] [--hammer N] [--json]
+//   sdfg-client [--socket PATH] --ping | --stats
+//   sdfg-client --selftest
+//
+// With --file the program source is read from F ("-" = stdin).  Retries
+// use exponential backoff and honor the daemon's E607 retry_after_ms
+// hint.  --hammer N submits the same job over N concurrent connections
+// and reports the outcome distribution -- the load generator behind the
+// dedup and admission-control acceptance tests.
+//
+// --selftest needs no daemon: it round-trips the DSRV frame protocol in
+// memory, exercises every decode failure (E600..E605), the run-request
+// body format (E606), and fault-plan determinism.
+//
+// Exit codes: 0 = ok (all jobs ok under --hammer), 1 = request or
+// selftest failure, 64 = usage error.
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/client.hpp"
+#include "serve/protocol.hpp"
+
+using namespace dace::serve;
+
+namespace {
+
+int usage() {
+  std::cerr
+      << "usage: sdfg-client [--socket PATH] [--file F] [--function NAME]\n"
+         "                   [--sym K=V] [--deadline-ms N] [--weight W]\n"
+         "                   [--id ID] [--timeout-ms N] [--retries N]\n"
+         "                   [--hammer N] [--json]\n"
+         "       sdfg-client [--socket PATH] --ping | --stats\n"
+         "       sdfg-client --selftest\n";
+  return 64;
+}
+
+// ---------------------------------------------------------------------------
+// Selftest (daemonless: protocol-layer checks)
+// ---------------------------------------------------------------------------
+
+#define ST_CHECK(cond)                                                   \
+  do {                                                                   \
+    if (!(cond)) {                                                       \
+      std::cerr << "selftest FAILED at " << __LINE__ << ": " #cond "\n"; \
+      return 1;                                                          \
+    }                                                                    \
+  } while (0)
+
+int selftest() {
+  const size_t kMax = 1 << 20;
+
+  // Frame round-trip.
+  std::string bytes = encode_frame(Verb::Run, "hello");
+  Decoded d = decode_frame(bytes, kMax);
+  ST_CHECK(d.status == Decoded::Ok);
+  ST_CHECK(d.frame.verb == Verb::Run && d.frame.payload == "hello");
+
+  // Empty input is EOF, not an error.
+  ST_CHECK(decode_frame("", kMax).status == Decoded::Eof);
+
+  // E600: bad magic.
+  std::string t = bytes;
+  t[0] = 'X';
+  d = decode_frame(t, kMax);
+  ST_CHECK(d.status == Decoded::Error && d.code == "E600");
+
+  // E601: wrong version.
+  t = bytes;
+  t[4] = (char)0x7f;
+  d = decode_frame(t, kMax);
+  ST_CHECK(d.status == Decoded::Error && d.code == "E601");
+
+  // E602: oversized.
+  d = decode_frame(bytes, 2);
+  ST_CHECK(d.status == Decoded::Error && d.code == "E602");
+
+  // E603: truncated header and truncated payload.
+  d = decode_frame(bytes.substr(0, 10), kMax);
+  ST_CHECK(d.status == Decoded::Error && d.code == "E603");
+  d = decode_frame(bytes.substr(0, bytes.size() - 2), kMax);
+  ST_CHECK(d.status == Decoded::Error && d.code == "E603");
+
+  // E604: corrupt payload byte.
+  t = bytes;
+  t[kHeaderBytes + 1] ^= 0x20;
+  d = decode_frame(t, kMax);
+  ST_CHECK(d.status == Decoded::Error && d.code == "E604");
+
+  // E605: unknown verb.
+  t = encode_frame((Verb)999, "x");
+  d = decode_frame(t, kMax);
+  ST_CHECK(d.status == Decoded::Error && d.code == "E605");
+
+  // Run-request body round-trip, including symbols and weights.
+  RunRequest rq;
+  rq.source = "@dace.program\ndef f(A: dace.float64[N]):\n    A[:] = 0.0\n";
+  rq.function = "f";
+  rq.symbols["N"] = 64;
+  rq.deadline_ms = 500;
+  rq.weight = 3;
+  rq.id = "job-1";
+  RunRequest back;
+  std::string why;
+  ST_CHECK(parse_run_request(format_run_request(rq), &back, &why));
+  ST_CHECK(back.source == rq.source && back.function == "f");
+  ST_CHECK(back.symbols == rq.symbols && back.deadline_ms == 500);
+  ST_CHECK(back.weight == 3 && back.id == "job-1");
+  ST_CHECK(request_key(back) == request_key(rq));
+  RunRequest other = rq;
+  other.symbols["N"] = 65;
+  ST_CHECK(request_key(other) != request_key(rq));
+
+  // E606 precursors: parse failures name the defect.
+  ST_CHECK(!parse_run_request("no separator at all", &back, &why));
+  ST_CHECK(!parse_run_request("bogus line\n--\nsrc", &back, &why));
+  ST_CHECK(!parse_run_request("deadline_ms=abc\n--\nsrc", &back, &why));
+  ST_CHECK(!parse_run_request("--\n", &back, &why));  // empty source
+
+  // Error payloads round-trip code/message/retry hint.
+  std::string ep = error_payload("E607", "busy", 40);
+  ST_CHECK(json_find_string(ep, "code") == "E607");
+  ST_CHECK(json_find_string(ep, "message") == "busy");
+  ST_CHECK(json_find_int(ep, "retry_after_ms", -1) == 40);
+
+  // Outputs extraction finds the deterministic comparison unit.
+  std::string ok =
+      "{\"status\":\"ok\",\"id\":\"1\",\"outputs\":{\"A\":\"dead\"},"
+      "\"exec_ms\":3}";
+  ST_CHECK(extract_outputs(ok) == "{\"A\":\"dead\"}");
+
+  // Fault plans: spec round-trip and per-seed determinism.
+  ServeFaultPlan p =
+      ServeFaultPlan::parse("seed=3,disconnect=0.2,corrupt=0.1,wedge=0.05");
+  ST_CHECK(p.active() && p.seed == 3);
+  ServeFaultPlan p2 = ServeFaultPlan::parse(p.to_string());
+  for (uint64_t op = 0; op < 256; ++op)
+    ST_CHECK(p.decide(op) == p2.decide(op));
+  bool saw_fault = false, saw_none = false;
+  for (uint64_t op = 0; op < 256; ++op) {
+    if (p.decide(op) == ServeFault::None) saw_none = true;
+    else saw_fault = true;
+  }
+  ST_CHECK(saw_fault && saw_none);
+  ST_CHECK(!ServeFaultPlan().active());
+
+  std::cout << "sdfg-client selftest ok\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  ClientOptions copts;
+  RunRequest req;
+  std::string file;
+  int hammer = 1;
+  bool do_ping = false, do_stats = false, json_out = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--selftest") return selftest();
+    if (a == "--ping") {
+      do_ping = true;
+    } else if (a == "--stats") {
+      do_stats = true;
+    } else if (a == "--json") {
+      json_out = true;
+    } else if (a == "--socket") {
+      const char* v = next();
+      if (!v) return usage();
+      copts.socket_path = v;
+    } else if (a == "--file") {
+      const char* v = next();
+      if (!v) return usage();
+      file = v;
+    } else if (a == "--function") {
+      const char* v = next();
+      if (!v) return usage();
+      req.function = v;
+    } else if (a == "--sym") {
+      const char* v = next();
+      if (!v) return usage();
+      const char* eq = std::strchr(v, '=');
+      if (!eq || eq == v) return usage();
+      req.symbols[std::string(v, eq - v)] = std::atoll(eq + 1);
+    } else if (a == "--deadline-ms") {
+      const char* v = next();
+      if (!v) return usage();
+      req.deadline_ms = std::atoll(v);
+    } else if (a == "--weight") {
+      const char* v = next();
+      if (!v) return usage();
+      req.weight = std::atoi(v);
+    } else if (a == "--id") {
+      const char* v = next();
+      if (!v) return usage();
+      req.id = v;
+    } else if (a == "--timeout-ms") {
+      const char* v = next();
+      if (!v) return usage();
+      copts.io_timeout_ms = std::atoi(v);
+    } else if (a == "--retries") {
+      const char* v = next();
+      if (!v) return usage();
+      copts.retries = std::atoi(v);
+    } else if (a == "--hammer") {
+      const char* v = next();
+      if (!v) return usage();
+      hammer = std::max(1, std::atoi(v));
+    } else {
+      return usage();
+    }
+  }
+
+  Client cli(copts);
+  if (do_ping) {
+    Reply r = cli.ping();
+    std::cout << (r.ok ? "pong\n" : "no daemon: " + r.message + "\n");
+    return r.ok ? 0 : 1;
+  }
+  if (do_stats) {
+    Reply r = cli.stats();
+    if (!r.ok) {
+      std::cerr << "sdfg-client: " << r.message << "\n";
+      return 1;
+    }
+    std::cout << r.payload << "\n";
+    return 0;
+  }
+
+  if (file.empty()) return usage();
+  if (file == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    req.source = ss.str();
+  } else {
+    std::ifstream f(file);
+    if (!f) {
+      std::cerr << "sdfg-client: cannot read " << file << "\n";
+      return 1;
+    }
+    std::ostringstream ss;
+    ss << f.rdbuf();
+    req.source = ss.str();
+  }
+
+  if (hammer == 1) {
+    Reply r = cli.run(req);
+    if (json_out) {
+      std::cout << (r.payload.empty()
+                        ? error_payload(r.code, r.message)
+                        : r.payload)
+                << "\n";
+    } else if (r.ok) {
+      std::cout << "ok outputs=" << extract_outputs(r.payload)
+                << " attempts=" << r.attempts << "\n";
+    } else {
+      std::cerr << "error " << r.code << ": " << r.message << "\n";
+    }
+    return r.ok ? 0 : 1;
+  }
+
+  // Hammer mode: N concurrent identical jobs, one connection each.
+  std::atomic<int> ok_count{0};
+  std::vector<std::string> codes((size_t)hammer);
+  std::vector<std::thread> threads;
+  threads.reserve((size_t)hammer);
+  for (int t = 0; t < hammer; ++t) {
+    threads.emplace_back([&, t] {
+      Client c(copts);
+      RunRequest r = req;
+      r.id = "hammer-" + std::to_string(t);
+      Reply rep = c.run(r);
+      if (rep.ok) ok_count.fetch_add(1);
+      else codes[(size_t)t] = rep.code.empty() ? "transport" : rep.code;
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::map<std::string, int> dist;
+  for (const auto& c : codes)
+    if (!c.empty()) ++dist[c];
+  std::cout << "hammer " << hammer << ": ok=" << ok_count.load();
+  for (const auto& [code, n] : dist) std::cout << " " << code << "=" << n;
+  std::cout << "\n";
+  return ok_count.load() == hammer ? 0 : 1;
+}

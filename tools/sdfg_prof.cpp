@@ -341,6 +341,42 @@ struct CacheAgg {
   }
 };
 
+/// Aggregated sdfg-serve daemon activity (cat "serve", serve/server.*):
+/// admission outcomes, job outcomes, and queue-wait percentiles.
+struct ServeAgg {
+  int64_t accepted = 0;
+  int64_t shed = 0;             // E607 admission rejections
+  int64_t deduped = 0;          // requests attached to an in-flight twin
+  int64_t completed = 0;
+  int64_t compile_errors = 0;   // E611 outcomes
+  int64_t deadlines = 0;        // E608 cancelled outcomes
+  int64_t wedged = 0;           // E608 abandoned outcomes
+  int64_t crashed = 0;          // E609 outcomes
+  int64_t protocol_errors = 0;  // E600..E606 replies
+  int64_t drains = 0;
+  int64_t faults = 0;           // injected connection/job faults (chaos shim)
+  int64_t recoveries = 0;       // stale-socket recoveries at startup
+  std::vector<double> queue_wait_ms;  // one sample per dequeued job
+  double exec_ms = 0;
+  int64_t execs = 0;
+
+  bool any() const {
+    return accepted || shed || deduped || completed || compile_errors ||
+           deadlines || wedged || crashed || protocol_errors || drains ||
+           faults || recoveries || execs;
+  }
+
+  /// Nearest-rank percentile over the queue-wait samples (p in [0,100]).
+  double wait_pct(double p) const {
+    if (queue_wait_ms.empty()) return 0;
+    std::vector<double> s = queue_wait_ms;
+    std::sort(s.begin(), s.end());
+    size_t idx = (size_t)std::ceil(p / 100.0 * (double)s.size());
+    if (idx > 0) --idx;
+    return s[std::min(idx, s.size() - 1)];
+  }
+};
+
 struct Report {
   size_t events = 0;
   std::vector<NodeAgg> nodes;        // sorted hottest-first
@@ -359,6 +395,7 @@ struct Report {
   std::vector<PlanAgg> plans;        // first-seen order (one per program)
   std::vector<RankAgg> ranks;        // sorted by rank
   CacheAgg cache;
+  ServeAgg serve;
 };
 
 int64_t arg_int(const JV* args, const char* key) {
@@ -548,6 +585,43 @@ Report aggregate(const JV& doc) {
                  name == "init-error") {
         ++r.cache.errors;
       }
+    } else if (cat == "serve") {
+      // "queue-wait"/"exec" are spans; admission and job outcomes are
+      // instants ("deadline-fired" marks the watchdog tripping a job's
+      // cancel flag; the "deadline" instant is the job's final outcome,
+      // so only the latter counts to avoid double-booking).
+      if (ph == 'X') {
+        if (name == "queue-wait")
+          r.serve.queue_wait_ms.push_back(dur / 1000.0);
+        if (name == "exec") {
+          r.serve.exec_ms += dur / 1000.0;
+          ++r.serve.execs;
+        }
+      } else if (name == "accepted") {
+        ++r.serve.accepted;
+      } else if (name == "shed") {
+        ++r.serve.shed;
+      } else if (name == "dedup") {
+        ++r.serve.deduped;
+      } else if (name == "completed") {
+        ++r.serve.completed;
+      } else if (name == "compile-error") {
+        ++r.serve.compile_errors;
+      } else if (name == "deadline") {
+        ++r.serve.deadlines;
+      } else if (name == "wedged") {
+        ++r.serve.wedged;
+      } else if (name == "crash") {
+        ++r.serve.crashed;
+      } else if (name == "protocol-error") {
+        ++r.serve.protocol_errors;
+      } else if (name == "drain") {
+        ++r.serve.drains;
+      } else if (name == "fault") {
+        ++r.serve.faults;
+      } else if (name == "stale-socket-recovered") {
+        ++r.serve.recoveries;
+      }
     }
   }
 
@@ -657,6 +731,29 @@ std::string render_text(const Report& r, int top) {
              (long long)r.cache.faults, (long long)r.cache.errors);
     os << line;
   }
+  if (r.serve.any()) {
+    snprintf(line, sizeof(line),
+             "serve: %lld accepted, %lld shed, %lld deduped, "
+             "%lld completed, %lld compile errors, %lld deadlines, "
+             "%lld wedged, %lld crashed, %lld protocol errors, "
+             "%lld faults injected\n",
+             (long long)r.serve.accepted, (long long)r.serve.shed,
+             (long long)r.serve.deduped, (long long)r.serve.completed,
+             (long long)r.serve.compile_errors, (long long)r.serve.deadlines,
+             (long long)r.serve.wedged, (long long)r.serve.crashed,
+             (long long)r.serve.protocol_errors, (long long)r.serve.faults);
+    os << line;
+    if (!r.serve.queue_wait_ms.empty()) {
+      snprintf(line, sizeof(line),
+               "  queue wait ms: p50=%.3f p90=%.3f p99=%.3f (%lld jobs); "
+               "exec %.3f ms total (%lld runs)\n",
+               r.serve.wait_pct(50), r.serve.wait_pct(90),
+               r.serve.wait_pct(99),
+               (long long)r.serve.queue_wait_ms.size(), r.serve.exec_ms,
+               (long long)r.serve.execs);
+      os << line;
+    }
+  }
   if (!r.plans.empty()) {
     os << "kernel plans (first native launch per map):\n";
     for (const PlanAgg& p : r.plans) {
@@ -756,6 +853,24 @@ std::string render_json(const Report& r, const std::string& file, int top) {
      << ",\"negative_hits\":" << r.cache.negative_hits
      << ",\"negative_stores\":" << r.cache.negative_stores
      << ",\"faults\":" << r.cache.faults << ",\"errors\":" << r.cache.errors
+     << "},\"serve\":{\"accepted\":" << r.serve.accepted
+     << ",\"shed\":" << r.serve.shed << ",\"deduped\":" << r.serve.deduped
+     << ",\"completed\":" << r.serve.completed
+     << ",\"compile_errors\":" << r.serve.compile_errors
+     << ",\"deadlines\":" << r.serve.deadlines
+     << ",\"wedged\":" << r.serve.wedged << ",\"crashed\":" << r.serve.crashed
+     << ",\"protocol_errors\":" << r.serve.protocol_errors
+     << ",\"drains\":" << r.serve.drains << ",\"faults\":" << r.serve.faults
+     << ",\"recoveries\":" << r.serve.recoveries
+     << ",\"jobs_waited\":" << r.serve.queue_wait_ms.size();
+  snprintf(num, sizeof(num), "%.3f", r.serve.wait_pct(50));
+  os << ",\"queue_wait_p50_ms\":" << num;
+  snprintf(num, sizeof(num), "%.3f", r.serve.wait_pct(90));
+  os << ",\"queue_wait_p90_ms\":" << num;
+  snprintf(num, sizeof(num), "%.3f", r.serve.wait_pct(99));
+  os << ",\"queue_wait_p99_ms\":" << num;
+  snprintf(num, sizeof(num), "%.3f", r.serve.exec_ms);
+  os << ",\"exec_ms\":" << num << ",\"execs\":" << r.serve.execs
      << "},\"plans\":[";
   first = true;
   for (const PlanAgg& p : r.plans) {
@@ -816,6 +931,19 @@ const char* kSelftestTrace = R"TRACE({"traceEvents":[
 {"ph":"i","name":"negative-store","cat":"cache","pid":0,"tid":0,"ts":66200,"s":"t","args":{"program":"00000000000000ff"}},
 {"ph":"X","name":"stencil","cat":"node","pid":0,"tid":0,"ts":70000,"dur":1000,"args":{"kind":"map","state":1,"node":2,"tier":1,"iters":1000}},
 {"ph":"i","name":"kernel-plan","cat":"tier","pid":0,"tid":0,"ts":71000,"s":"t","args":{"map":"stencil","plan":"loops=3 jam=4 unroll=4 sink=1","jam":4,"unroll":4,"sinks":1,"chunks":8,"ns_per_iter":2.5}},
+{"ph":"i","name":"start","cat":"serve","pid":0,"tid":0,"ts":80000,"s":"t","args":{"socket":"/tmp/s.sock","workers":2}},
+{"ph":"i","name":"accepted","cat":"serve","pid":0,"tid":0,"ts":80100,"s":"t","args":{"key":"00000000000000aa"}},
+{"ph":"i","name":"dedup","cat":"serve","pid":0,"tid":0,"ts":80200,"s":"t","args":{"key":"00000000000000aa"}},
+{"ph":"X","name":"queue-wait","cat":"serve","pid":0,"tid":0,"ts":80100,"dur":2000,"args":{"key":"00000000000000aa"}},
+{"ph":"X","name":"exec","cat":"serve","pid":0,"tid":0,"ts":82100,"dur":5000,"args":{"outcome":"ok"}},
+{"ph":"i","name":"completed","cat":"serve","pid":0,"tid":0,"ts":87100,"s":"t","args":{"key":"00000000000000aa","fanout":2}},
+{"ph":"i","name":"shed","cat":"serve","pid":0,"tid":0,"ts":87200,"s":"t","args":{"key":"00000000000000bb"}},
+{"ph":"i","name":"protocol-error","cat":"serve","pid":0,"tid":0,"ts":87300,"s":"t","args":{"code":"E604"}},
+{"ph":"i","name":"fault","cat":"serve","pid":0,"tid":0,"ts":87400,"s":"t","args":{"kind":"corrupt","op":7}},
+{"ph":"X","name":"queue-wait","cat":"serve","pid":0,"tid":0,"ts":87000,"dur":8000,"args":{"key":"00000000000000cc"}},
+{"ph":"i","name":"deadline-fired","cat":"serve","pid":0,"tid":0,"ts":95100,"s":"t","args":{"key":"00000000000000cc"}},
+{"ph":"i","name":"deadline","cat":"serve","pid":0,"tid":0,"ts":95200,"s":"t","args":{"key":"00000000000000cc","fanout":1}},
+{"ph":"i","name":"drain","cat":"serve","pid":0,"tid":0,"ts":99000,"s":"t","args":{"accepted":2,"queue_depth":0}},
 {"ph":"i","name":"send","cat":"comm","pid":1,"tid":0,"ts":0,"s":"t","args":{"peer":1,"tag":5,"n":64}},
 {"ph":"i","name":"drop","cat":"fault","pid":1,"tid":0,"ts":0,"s":"t","args":{"peer":1,"tag":5,"bytes":512,"seq":0,"attempt":0}},
 {"ph":"i","name":"retransmit","cat":"comm","pid":1,"tid":0,"ts":1000,"s":"t","args":{"peer":1,"tag":5,"attempt":0,"backoff_s":0.001}},
@@ -843,6 +971,10 @@ const char* kSelftestGolden =
     "artifact cache: 1 hits, 1 misses, 1 commits (0.500 ms), "
     "1 corrupt-rejected, 0 evicted, 0 negative hits, 1 faults injected, "
     "0 errors\n"
+    "serve: 1 accepted, 1 shed, 1 deduped, 1 completed, 0 compile errors, "
+    "1 deadlines, 0 wedged, 0 crashed, 1 protocol errors, 1 faults injected\n"
+    "  queue wait ms: p50=2.000 p90=8.000 p99=8.000 (2 jobs); "
+    "exec 5.000 ms total (1 runs)\n"
     "kernel plans (first native launch per map):\n"
     "  stencil                  loops=3 jam=4 unroll=4 sink=1    "
     "jam=4 unroll=4 sinks=1 chunks=8 ns/iter=2.5\n"
@@ -892,6 +1024,19 @@ int selftest() {
       (int)cache->get("negative_stores")->as_num() != 1 ||
       (int)cache->get("faults")->as_num() != 1) {
     std::fprintf(stderr, "sdfg-prof selftest: bad cache aggregation\n");
+    return 1;
+  }
+  const JV* serve = jdoc.get("serve");
+  if (!serve || serve->kind != JV::Obj ||
+      (int)serve->get("accepted")->as_num() != 1 ||
+      (int)serve->get("shed")->as_num() != 1 ||
+      (int)serve->get("deduped")->as_num() != 1 ||
+      (int)serve->get("completed")->as_num() != 1 ||
+      (int)serve->get("deadlines")->as_num() != 1 ||
+      (int)serve->get("jobs_waited")->as_num() != 2 ||
+      serve->get("queue_wait_p90_ms")->as_num() < 7.9 ||
+      serve->get("queue_wait_p90_ms")->as_num() > 8.1) {
+    std::fprintf(stderr, "sdfg-prof selftest: bad serve aggregation\n");
     return 1;
   }
   const JV* plans = jdoc.get("plans");
