@@ -6,11 +6,14 @@
 // spans land on the same timeline as runtime/JIT/pass spans when tracing
 // is enabled (DACE_TRACE_FILE=...).  Every *named* timing additionally
 // lands in a machine-readable JSON report written at process exit:
-// BENCH_8.json in the working directory, or $BENCH_JSON when set.  Keys
-// are the timing names, values are median nanoseconds.
+// BENCH_10.json in the working directory, or $BENCH_JSON when set.  Keys
+// are the timing names, values are median nanoseconds.  Writes merge
+// into an existing report (our keys win), so several bench binaries run
+// in sequence accumulate one trajectory snapshot per PR.
 #pragma once
 
 #include <algorithm>
+#include <cctype>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -54,27 +57,86 @@ class JsonReport {
 
   void write() {
     const char* env = std::getenv("BENCH_JSON");
-    std::string path = env && *env ? env : "BENCH_8.json";
+    std::string path = env && *env ? env : "BENCH_10.json";
     std::lock_guard<std::mutex> lk(mu_);
     if (entries_.empty()) return;
+    // Merge-on-write: fold keys already in the file under ours, so
+    // bench_serve + bench_fig7 (separate processes) share one snapshot.
+    std::vector<std::pair<std::string, double>> merged;
+    for (const auto& [k, v] : parse_flat(path)) {
+      bool ours = false;
+      for (const auto& e : entries_) {
+        if (e.first == k) {
+          ours = true;
+          break;
+        }
+      }
+      if (!ours) merged.emplace_back(k, v);
+    }
+    merged.insert(merged.end(), entries_.begin(), entries_.end());
     FILE* f = std::fopen(path.c_str(), "w");
     if (!f) return;
     std::fprintf(f, "{\n");
-    for (size_t i = 0; i < entries_.size(); ++i) {
+    for (size_t i = 0; i < merged.size(); ++i) {
       std::fprintf(f, "  \"%s\": %.1f%s\n",
-                   dace::diag::json_escape(entries_[i].first).c_str(),
-                   entries_[i].second,
-                   i + 1 < entries_.size() ? "," : "");
+                   dace::diag::json_escape(merged[i].first).c_str(),
+                   merged[i].second,
+                   i + 1 < merged.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);
-    std::fprintf(stderr, "bench: wrote %zu timings to %s\n", entries_.size(),
+    std::fprintf(stderr, "bench: wrote %zu timings to %s\n", merged.size(),
                  path.c_str());
   }
 
  private:
   JsonReport() { std::atexit(&JsonReport::write_at_exit); }
   static void write_at_exit() { global().write(); }
+
+  /// Best-effort read of an existing flat report ({"name": number, ...});
+  /// anything unparseable yields an empty map (the write starts fresh).
+  static std::vector<std::pair<std::string, double>> parse_flat(
+      const std::string& path) {
+    std::vector<std::pair<std::string, double>> out;
+    FILE* f = std::fopen(path.c_str(), "r");
+    if (!f) return out;
+    std::string text;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) text.append(buf, n);
+    std::fclose(f);
+    size_t pos = 0;
+    auto skip_ws = [&] {
+      while (pos < text.size() && std::isspace((unsigned char)text[pos]))
+        ++pos;
+    };
+    skip_ws();
+    if (pos >= text.size() || text[pos] != '{') return out;
+    ++pos;
+    while (true) {
+      skip_ws();
+      if (pos >= text.size()) return {};
+      if (text[pos] == '}') return out;
+      if (text[pos] == ',') {
+        ++pos;
+        continue;
+      }
+      if (text[pos] != '"') return {};
+      size_t end = text.find('"', pos + 1);
+      if (end == std::string::npos) return {};
+      std::string key = text.substr(pos + 1, end - pos - 1);
+      pos = end + 1;
+      skip_ws();
+      if (pos >= text.size() || text[pos] != ':') return {};
+      ++pos;
+      skip_ws();
+      char* numend = nullptr;
+      double v = std::strtod(text.c_str() + pos, &numend);
+      if (numend == text.c_str() + pos) return {};
+      pos = (size_t)(numend - text.c_str());
+      out.emplace_back(std::move(key), v);
+    }
+  }
 
   std::mutex mu_;
   std::vector<std::pair<std::string, double>> entries_;

@@ -1,5 +1,6 @@
 // bench_serve: request latency of the sdfg-serve daemon (src/serve/*).
-// Five medians land in the JSON report (BENCH_9.json / $BENCH_JSON):
+// Five medians land in the shared trajectory report (BENCH_10.json /
+// $BENCH_JSON; writes merge, so this coexists with bench_fig7's keys):
 //
 //   serve.ping          frame round-trip over the unix socket: protocol
 //                       + scheduling floor, no compile or execution
@@ -77,9 +78,6 @@ void hammer(const std::string& sock, int n) {
 }  // namespace
 
 int main() {
-  // This binary's report is BENCH_9.json unless the harness overrides.
-  setenv("BENCH_JSON", "BENCH_9.json", /*overwrite=*/0);
-
   std::string sock =
       "/tmp/dacepp-bench-serve-" + std::to_string((long)getpid()) + ".sock";
   ServeConfig cfg;

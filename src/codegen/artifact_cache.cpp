@@ -19,6 +19,7 @@
 #include <thread>
 
 #include "common/common.hpp"
+#include "common/metrics.hpp"
 #include "common/obs.hpp"
 
 namespace fs = std::filesystem;
@@ -93,6 +94,7 @@ FsFault next_fault() {
   FsFault f = plan.decide(g_fault_op.fetch_add(1, std::memory_order_relaxed));
   if (f != FsFault::None) {
     g_faults_injected.fetch_add(1, std::memory_order_relaxed);
+    METRIC_INC("dacepp_cache_faults_injected_total");
     OBS_INSTANT("cache", "fault",
                 std::string("{\"kind\":\"") + fs_fault_name(f) + "\"}");
   }
@@ -508,8 +510,31 @@ CacheStats ArtifactCache::stats() const {
 }
 
 void ArtifactCache::count(uint64_t CacheStats::*field) const {
-  std::lock_guard<std::mutex> lk(mu_);
-  ++(stats_.*field);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++(stats_.*field);
+  }
+  // Mirror into the process-wide metrics registry (common/metrics.hpp):
+  // this is the single choke point every CacheStats bump flows through,
+  // so `sdfg-cache stat --json` and the serve Metrics verb see live
+  // cache health without a trace file.
+  if (field == &CacheStats::hits) {
+    METRIC_INC("dacepp_cache_hits_total");
+  } else if (field == &CacheStats::misses) {
+    METRIC_INC("dacepp_cache_misses_total");
+  } else if (field == &CacheStats::commits) {
+    METRIC_INC("dacepp_cache_commits_total");
+  } else if (field == &CacheStats::corrupt_rejected) {
+    METRIC_INC("dacepp_cache_corrupt_total");
+  } else if (field == &CacheStats::evictions) {
+    METRIC_INC("dacepp_cache_evictions_total");
+  } else if (field == &CacheStats::neg_hits) {
+    METRIC_INC("dacepp_cache_negative_hits_total");
+  } else if (field == &CacheStats::neg_stores) {
+    METRIC_INC("dacepp_cache_negative_stores_total");
+  } else if (field == &CacheStats::fallbacks) {
+    METRIC_INC("dacepp_cache_fallbacks_total");
+  }
 }
 
 std::string ArtifactCache::key_for(const std::string& source,

@@ -1,0 +1,557 @@
+#include "common/profdb.hpp"
+
+#include <fcntl.h>
+#include <sys/file.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <sstream>
+#include <thread>
+
+#include "common/metrics.hpp"
+#include "common/obs.hpp"
+
+namespace fs = std::filesystem;
+
+namespace dace::prof {
+
+uint64_t fnv1a(const void* data, size_t n, uint64_t h) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+namespace {
+
+/// On-disk format generation: written into every header, so a layout
+/// change invalidates old entries instead of misreading them.
+constexpr int kFormatVersion = 1;
+constexpr const char* kMagic = "daceppprof";
+
+std::string hex64(uint64_t v) {
+  char buf[17];
+  snprintf(buf, sizeof(buf), "%016llx", (unsigned long long)v);
+  return buf;
+}
+
+bool parse_hex64(const std::string& s, uint64_t* out) {
+  if (s.size() != 16) return false;
+  char* end = nullptr;
+  errno = 0;
+  *out = std::strtoull(s.c_str(), &end, 16);
+  return errno == 0 && end == s.c_str() + 16;
+}
+
+bool write_file_sync(const std::string& path, const std::string& data,
+                     std::string* why) {
+  int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    *why = std::string("open failed: ") + std::strerror(errno);
+    return false;
+  }
+  size_t off = 0;
+  while (off < data.size()) {
+    ssize_t w = ::write(fd, data.data() + off, data.size() - off);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      *why = std::string("write failed: ") + std::strerror(errno);
+      ::close(fd);
+      ::unlink(path.c_str());
+      return false;
+    }
+    off += (size_t)w;
+  }
+  ::fsync(fd);
+  ::close(fd);
+  return true;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return false;
+  out->clear();
+  char buf[1 << 16];
+  ssize_t r;
+  while ((r = ::read(fd, buf, sizeof(buf))) > 0) out->append(buf, (size_t)r);
+  ::close(fd);
+  return r == 0;
+}
+
+/// flock(2)-based per-key writer lock (the artifact-cache pattern):
+/// locks die with their owner, so a crashed writer leaves only a
+/// harmless lock file behind.
+class KeyLock {
+ public:
+  bool acquire(const std::string& path, int timeout_ms) {
+    fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) return false;
+    auto deadline = std::chrono::steady_clock::now() +
+                    std::chrono::milliseconds(timeout_ms);
+    while (::flock(fd_, LOCK_EX | LOCK_NB) != 0) {
+      if (errno != EWOULDBLOCK && errno != EINTR) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+      }
+      if (std::chrono::steady_clock::now() >= deadline) {
+        ::close(fd_);
+        fd_ = -1;
+        return false;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    return true;
+  }
+  ~KeyLock() {
+    if (fd_ >= 0) {
+      ::flock(fd_, LOCK_UN);
+      ::close(fd_);
+    }
+  }
+
+ private:
+  int fd_ = -1;
+};
+
+/// One "tag value..." line; the value may contain spaces (labels do).
+bool take_line(std::istringstream& is, const char* tag, std::string* val) {
+  std::string line;
+  if (!std::getline(is, line)) return false;
+  size_t sp = line.find(' ');
+  if (sp == std::string::npos || line.substr(0, sp) != tag) return false;
+  *val = line.substr(sp + 1);
+  return true;
+}
+
+std::string fmt_double(double v) {
+  char buf[64];
+  snprintf(buf, sizeof(buf), "%.17g", v);
+  return buf;
+}
+
+std::string render_map(const MapProfile& p) {
+  std::ostringstream os;
+  os << "program " << hex64(p.program_hash) << '\n'
+     << "label " << p.label << '\n'
+     << "runs " << p.runs << '\n'
+     << "launches " << p.launches << '\n'
+     << "iterations " << p.iterations << '\n'
+     << "tier " << p.tier << '\n'
+     << "ns0 " << fmt_double(p.ns_per_iter[0]) << '\n'
+     << "ns1 " << fmt_double(p.ns_per_iter[1]) << '\n'
+     << "instrs " << p.instrs << '\n'
+     << "flops " << p.flops << '\n'
+     << "loads " << p.loads << '\n'
+     << "stores " << p.stores << '\n'
+     << "last_pass " << p.last_pass << '\n';
+  return os.str();
+}
+
+bool parse_map(const std::string& body, MapProfile* out) {
+  std::istringstream is(body);
+  std::string v;
+  if (!take_line(is, "program", &v) || !parse_hex64(v, &out->program_hash))
+    return false;
+  if (!take_line(is, "label", &v)) return false;
+  out->label = v;
+  if (!take_line(is, "runs", &v)) return false;
+  out->runs = std::atoll(v.c_str());
+  if (!take_line(is, "launches", &v)) return false;
+  out->launches = std::atoll(v.c_str());
+  if (!take_line(is, "iterations", &v)) return false;
+  out->iterations = std::atoll(v.c_str());
+  if (!take_line(is, "tier", &v)) return false;
+  out->tier = std::atoi(v.c_str());
+  if (!take_line(is, "ns0", &v)) return false;
+  out->ns_per_iter[0] = std::strtod(v.c_str(), nullptr);
+  if (!take_line(is, "ns1", &v)) return false;
+  out->ns_per_iter[1] = std::strtod(v.c_str(), nullptr);
+  if (!take_line(is, "instrs", &v)) return false;
+  out->instrs = std::atoll(v.c_str());
+  if (!take_line(is, "flops", &v)) return false;
+  out->flops = std::atoll(v.c_str());
+  if (!take_line(is, "loads", &v)) return false;
+  out->loads = std::atoll(v.c_str());
+  if (!take_line(is, "stores", &v)) return false;
+  out->stores = std::atoll(v.c_str());
+  if (!take_line(is, "last_pass", &v)) return false;
+  out->last_pass = v;
+  return true;
+}
+
+std::string render_pipeline(const PipelineProfile& p) {
+  std::ostringstream os;
+  os << "program " << hex64(p.sdfg_hash) << '\n'
+     << "runs " << p.runs << '\n';
+  for (const PassStat& s : p.passes) {
+    os << "pass " << s.runs << ' ' << s.applied << ' ' << s.committed << ' '
+       << s.rolled_back << ' ' << s.name << '\n';
+  }
+  return os.str();
+}
+
+bool parse_pipeline(const std::string& body, PipelineProfile* out) {
+  std::istringstream is(body);
+  std::string v;
+  if (!take_line(is, "program", &v) || !parse_hex64(v, &out->sdfg_hash))
+    return false;
+  if (!take_line(is, "runs", &v)) return false;
+  out->runs = std::atoll(v.c_str());
+  out->passes.clear();
+  std::string line;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    std::istringstream ls(line);
+    std::string tag;
+    PassStat s;
+    if (!(ls >> tag >> s.runs >> s.applied >> s.committed >>
+          s.rolled_back) ||
+        tag != "pass")
+      return false;
+    std::getline(ls, s.name);
+    if (!s.name.empty() && s.name[0] == ' ') s.name.erase(0, 1);
+    if (s.name.empty()) return false;
+    out->passes.push_back(std::move(s));
+  }
+  return true;
+}
+
+/// Fold `delta` into `into` (the EMA-merge contract in the header).
+void merge_into(MapProfile* into, const MapProfile& delta) {
+  if (!delta.label.empty()) into->label = delta.label;
+  into->runs += delta.runs > 0 ? delta.runs : 1;
+  into->launches += delta.launches;
+  into->iterations += delta.iterations;
+  into->tier = std::max(into->tier, delta.tier);
+  for (int t = 0; t < 2; ++t) {
+    double d = delta.ns_per_iter[t];
+    if (d <= 0) continue;
+    double& e = into->ns_per_iter[t];
+    e = e <= 0 ? d : 0.5 * e + 0.5 * d;
+  }
+  into->instrs += delta.instrs;
+  into->flops += delta.flops;
+  into->loads += delta.loads;
+  into->stores += delta.stores;
+  if (!delta.last_pass.empty()) into->last_pass = delta.last_pass;
+}
+
+void merge_pipeline_into(PipelineProfile* into,
+                         const std::vector<PassStat>& delta) {
+  ++into->runs;
+  for (const PassStat& d : delta) {
+    PassStat* slot = nullptr;
+    for (PassStat& s : into->passes) {
+      if (s.name == d.name) {
+        slot = &s;
+        break;
+      }
+    }
+    if (!slot) {
+      into->passes.push_back(PassStat{d.name, 0, 0, 0, 0});
+      slot = &into->passes.back();
+    }
+    slot->runs += d.runs > 0 ? d.runs : 1;
+    slot->applied += d.applied;
+    slot->committed += d.committed;
+    slot->rolled_back += d.rolled_back;
+  }
+}
+
+// -- process-global last-rewrite note ----------------------------------------
+
+std::mutex g_rewrite_mu;
+std::string& rewrite_slot() {
+  static std::string* s = new std::string();
+  return *s;
+}
+
+}  // namespace
+
+void note_last_rewrite(const std::string& pass) {
+  std::lock_guard<std::mutex> lk(g_rewrite_mu);
+  rewrite_slot() = pass;
+}
+
+std::string last_rewrite() {
+  std::lock_guard<std::mutex> lk(g_rewrite_mu);
+  return rewrite_slot();
+}
+
+bool pgo_enabled() {
+  const char* e = std::getenv("DACE_PGO");
+  return e && std::string(e) == "1";
+}
+
+// ---------------------------------------------------------------------------
+// Configuration
+// ---------------------------------------------------------------------------
+
+DbConfig DbConfig::from_env() {
+  DbConfig cfg;
+  if (const char* e = std::getenv("DACE_PROFILE_DB")) {
+    cfg.enabled = std::string(e) != "0";
+  }
+  if (const char* e = std::getenv("DACE_PROFILE_DB_DIR"); e && *e) {
+    cfg.dir = e;
+  } else if (const char* c = std::getenv("DACE_CACHE_DIR"); c && *c) {
+    // Ride along with an explicitly-relocated artifact cache so tests
+    // that isolate DACE_CACHE_DIR isolate the profile DB for free.
+    cfg.dir = std::string(c) + "/profdb";
+  } else if (const char* x = std::getenv("XDG_CACHE_HOME"); x && *x) {
+    cfg.dir = std::string(x) + "/dacepp/profdb";
+  } else if (const char* h = std::getenv("HOME"); h && *h) {
+    cfg.dir = std::string(h) + "/.cache/dacepp/profdb";
+  } else {
+    cfg.dir = "/tmp/dacepp-profdb-" + std::to_string((long)getuid());
+  }
+  if (const char* e = std::getenv("DACE_CACHE_LOCK_TIMEOUT_MS")) {
+    int v = std::atoi(e);
+    if (v >= 0) cfg.lock_timeout_ms = v;
+  }
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// The DB
+// ---------------------------------------------------------------------------
+
+ProfileDB::ProfileDB(DbConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.enabled) return;
+  std::error_code ec;
+  fs::create_directories(cfg_.dir, ec);
+  if (ec || !fs::is_directory(cfg_.dir)) dir_failed_ = true;
+}
+
+namespace {
+// Single shared slot: instance() lazily fills it, reset_for_testing()
+// replaces it.  Leaked by design -- executor destructors may flush at
+// any point in shutdown, and a detached thread may still hold the old
+// instance after a reset.
+ProfileDB** instance_slot() {
+  static ProfileDB* db = nullptr;
+  return &db;
+}
+}  // namespace
+
+ProfileDB& ProfileDB::instance() {
+  ProfileDB** slot = instance_slot();
+  if (!*slot) *slot = new ProfileDB(DbConfig::from_env());
+  return **slot;
+}
+
+void ProfileDB::reset_for_testing() {
+  *instance_slot() = new ProfileDB(DbConfig::from_env());
+}
+
+DbStats ProfileDB::stats() const {
+  std::lock_guard<std::mutex> lk(mu_);
+  return stats_;
+}
+
+std::string ProfileDB::map_path(uint64_t program_hash) const {
+  return cfg_.dir + "/map-" + hex64(program_hash) + ".prof";
+}
+
+std::string ProfileDB::pipeline_path(uint64_t sdfg_hash) const {
+  return cfg_.dir + "/pipe-" + hex64(sdfg_hash) + ".prof";
+}
+
+bool ProfileDB::load_file(const std::string& path, const char* kind,
+                          std::string* body) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.misses;
+    return false;
+  }
+  // Record layout: "<magic> <version>\nkind <kind>\n<body>checksum <hex>\n".
+  // The checksum covers everything before its own line.
+  auto reject = [&]() {
+    ::unlink(path.c_str());
+    {
+      std::lock_guard<std::mutex> lk(mu_);
+      ++stats_.corrupt_rejected;
+    }
+    METRIC_INC("dacepp_profdb_corrupt_total");
+    OBS_INSTANT("profdb", "corrupt-reject");
+    return false;
+  };
+  size_t tail = text.rfind("checksum ");
+  if (tail == std::string::npos || tail == 0 || text[tail - 1] != '\n')
+    return reject();
+  std::string csline = text.substr(tail + 9);
+  while (!csline.empty() && (csline.back() == '\n' || csline.back() == '\r'))
+    csline.pop_back();
+  uint64_t want = 0;
+  if (!parse_hex64(csline, &want)) return reject();
+  if (fnv1a(text.data(), tail) != want) return reject();
+  std::istringstream is(text.substr(0, tail));
+  std::string line;
+  if (!std::getline(is, line) ||
+      line != std::string(kMagic) + " " + std::to_string(kFormatVersion))
+    return reject();
+  std::string v;
+  if (!take_line(is, "kind", &v) || v != kind) return reject();
+  body->assign(text.begin() + (long)is.tellg(), text.begin() + (long)tail);
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.loads;
+  }
+  METRIC_INC("dacepp_profdb_loads_total");
+  return true;
+}
+
+bool ProfileDB::commit_file(const std::string& path,
+                            const std::string& body) {
+  std::string rec = body + "checksum " + hex64(fnv1a(body.data(), body.size())) + "\n";
+  std::string tmp = path + ".tmp." + std::to_string((long)getpid());
+  std::string why;
+  if (!write_file_sync(tmp, rec, &why)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.errors;
+    return false;
+  }
+  if (::rename(tmp.c_str(), path.c_str()) != 0) {
+    ::unlink(tmp.c_str());
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.errors;
+    return false;
+  }
+  // No parent-dir fsync here, unlike the artifact cache: the temp-file
+  // fsync plus atomic rename already rule out torn entries (the
+  // corruption vector the checksum guards against), and losing the
+  // rename itself to a power cut merely reverts to the previous
+  // profile.  Profiles are flushed on every executor teardown -- the
+  // serve daemon's request path -- so the extra fsync is latency paid
+  // per request for durability the data does not need.
+  {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.merges;
+  }
+  METRIC_INC("dacepp_profdb_merges_total");
+  return true;
+}
+
+bool ProfileDB::load_map(uint64_t program_hash, MapProfile* out) {
+  if (!enabled()) return false;
+  std::string body;
+  if (!load_file(map_path(program_hash), "map", &body)) return false;
+  MapProfile p;
+  if (!parse_map(body, &p) || p.program_hash != program_hash) {
+    ::unlink(map_path(program_hash).c_str());
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.corrupt_rejected;
+    return false;
+  }
+  *out = std::move(p);
+  return true;
+}
+
+bool ProfileDB::merge_map(const MapProfile& delta) {
+  if (!enabled()) return false;
+  std::string path = map_path(delta.program_hash);
+  KeyLock lock;
+  if (!lock.acquire(path + ".lock", cfg_.lock_timeout_ms)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.errors;
+    return false;
+  }
+  MapProfile merged;
+  merged.program_hash = delta.program_hash;
+  {
+    // Re-read under the lock so concurrent flushes serialize their
+    // read-merge-write cycles instead of losing updates.
+    std::string body;
+    MapProfile prev;
+    if (load_file(path, "map", &body) && parse_map(body, &prev) &&
+        prev.program_hash == delta.program_hash) {
+      merged = std::move(prev);
+    }
+  }
+  merge_into(&merged, delta);
+  std::ostringstream os;
+  os << kMagic << ' ' << kFormatVersion << "\nkind map\n" << render_map(merged);
+  return commit_file(path, os.str());
+}
+
+bool ProfileDB::load_pipeline(uint64_t sdfg_hash, PipelineProfile* out) {
+  if (!enabled()) return false;
+  std::string body;
+  if (!load_file(pipeline_path(sdfg_hash), "pipeline", &body)) return false;
+  PipelineProfile p;
+  if (!parse_pipeline(body, &p) || p.sdfg_hash != sdfg_hash) {
+    ::unlink(pipeline_path(sdfg_hash).c_str());
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.corrupt_rejected;
+    return false;
+  }
+  *out = std::move(p);
+  return true;
+}
+
+bool ProfileDB::merge_pipeline(uint64_t sdfg_hash,
+                               const std::vector<PassStat>& delta) {
+  if (!enabled()) return false;
+  std::string path = pipeline_path(sdfg_hash);
+  KeyLock lock;
+  if (!lock.acquire(path + ".lock", cfg_.lock_timeout_ms)) {
+    std::lock_guard<std::mutex> lk(mu_);
+    ++stats_.errors;
+    return false;
+  }
+  PipelineProfile merged;
+  merged.sdfg_hash = sdfg_hash;
+  {
+    std::string body;
+    PipelineProfile prev;
+    if (load_file(path, "pipeline", &body) && parse_pipeline(body, &prev) &&
+        prev.sdfg_hash == sdfg_hash) {
+      merged = std::move(prev);
+    }
+  }
+  merge_pipeline_into(&merged, delta);
+  std::ostringstream os;
+  os << kMagic << ' ' << kFormatVersion << "\nkind pipeline\n"
+     << render_pipeline(merged);
+  return commit_file(path, os.str());
+}
+
+std::vector<MapProfile> ProfileDB::list_maps() {
+  std::vector<MapProfile> out;
+  if (!enabled()) return out;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(cfg_.dir, ec)) {
+    std::string name = e.path().filename().string();
+    if (name.rfind("map-", 0) != 0 || name.size() != 4 + 16 + 5) continue;
+    uint64_t h = 0;
+    if (!parse_hex64(name.substr(4, 16), &h)) continue;
+    MapProfile p;
+    if (load_map(h, &p)) out.push_back(std::move(p));
+  }
+  return out;
+}
+
+int ProfileDB::purge() {
+  if (cfg_.dir.empty()) return 0;
+  int n = 0;
+  std::error_code ec;
+  for (const auto& e : fs::directory_iterator(cfg_.dir, ec)) {
+    std::string name = e.path().filename().string();
+    if (name.rfind("map-", 0) != 0 && name.rfind("pipe-", 0) != 0) continue;
+    std::error_code rec;
+    if (fs::remove(e.path(), rec)) ++n;
+  }
+  return n;
+}
+
+}  // namespace dace::prof

@@ -1,0 +1,164 @@
+// Persistent profile database (ROADMAP item 3: close the loop from
+// measurement back into the pipeline).
+//
+// An on-disk, crash-safe store of per-program execution profiles keyed
+// by Program::hash (runtime/bytecode.hpp): per-map EMA ns/iter for both
+// tiers, cumulative iterations and launches, the highest tier reached,
+// Tier-0 VMStats deltas (when the run was instrumented) and the last
+// rewriting pass that shaped the program.  Pipeline entries (keyed by a
+// fingerprint of the serialized SDFG) record per-pass win/loss history
+// from transactional auto_optimize runs.
+//
+// Writes use the PR-8 artifact-cache protocol (codegen/artifact_cache.*):
+//   - one file per entry, written to a per-process temp name, fsync'd,
+//     then atomically rename(2)-committed
+//   - a versioned header plus an FNV-1a whole-record checksum, verified
+//     on every load; corrupt or truncated entries are *deleted on sight*
+//     and degrade to a miss, never to loading garbage
+//   - cross-process writers (two executors tearing down at once)
+//     serialize on a per-key flock(2) lock file with a bounded wait;
+//     locks die with their owner
+//   - every filesystem failure is contained: a broken DB costs history,
+//     never correctness
+//
+// Merging is EMA across runs: ns/iter folds 50/50 into the stored value,
+// monotonic counters sum, tier takes the max -- so the DB converges on
+// the steady-state cost of each program instead of echoing one run.
+//
+// The read side (profile-guided optimization) is a separate opt-in:
+// DACE_PGO=1 lets tiering pre-promote known-hot maps, seeds the chunk
+// scheduler's cost EMA, and lets auto_optimize skip historically-doomed
+// passes.  With DACE_PGO unset (default) nothing ever reads the DB, so
+// the off path is byte-identical in behavior.
+//
+// Env knobs (docs/OBSERVABILITY.md):
+//   DACE_PROFILE_DB=0        disable the store entirely (no writes, no reads)
+//   DACE_PROFILE_DB_DIR=path store root (default <cache root>/profdb, same
+//                            XDG resolution as DACE_CACHE_DIR)
+//   DACE_PGO=0|1             profile-guided consumers (default 0 = off)
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace dace::prof {
+
+/// FNV-1a 64 (local copy; common/ must not depend on codegen/).
+uint64_t fnv1a(const void* data, size_t n,
+               uint64_t h = 1469598103934665603ull);
+
+/// One map program's accumulated profile (a DB entry, and the unit a
+/// teardown flush merges in).
+struct MapProfile {
+  uint64_t program_hash = 0;
+  std::string label;             // map name (latest flush wins)
+  int64_t runs = 0;              // executor teardowns merged in
+  int64_t launches = 0;          // map dispatches
+  int64_t iterations = 0;        // summed outer iterations
+  int tier = 0;                  // highest tier ever reached (0 or 1)
+  double ns_per_iter[2] = {0.0, 0.0};  // EMA across runs, per tier
+  // Tier-0 VMStats deltas (summed; zero unless the run was instrumented).
+  int64_t instrs = 0;
+  int64_t flops = 0;
+  int64_t loads = 0;
+  int64_t stores = 0;
+  std::string last_pass;         // last committed rewriting pass
+};
+
+/// Per-pass outcome history of one program's auto_optimize pipeline.
+struct PassStat {
+  std::string name;
+  int64_t runs = 0;
+  int64_t applied = 0;
+  int64_t committed = 0;
+  int64_t rolled_back = 0;
+};
+
+struct PipelineProfile {
+  uint64_t sdfg_hash = 0;
+  int64_t runs = 0;
+  std::vector<PassStat> passes;
+};
+
+struct DbConfig {
+  bool enabled = true;      // DACE_PROFILE_DB != "0"
+  std::string dir;          // resolved store root
+  int lock_timeout_ms = 5000;  // writer-lock wait bound
+
+  static DbConfig from_env();
+};
+
+/// Process-local activity counters (mirrored into the metrics registry).
+struct DbStats {
+  uint64_t loads = 0;             // verified entry reads
+  uint64_t misses = 0;            // key not present
+  uint64_t merges = 0;            // entries committed
+  uint64_t corrupt_rejected = 0;  // checksum/header mismatches deleted
+  uint64_t errors = 0;            // lock timeouts, write failures
+};
+
+class ProfileDB {
+ public:
+  explicit ProfileDB(DbConfig cfg);
+
+  /// Env-configured process singleton (leaked, artifact-cache style).
+  static ProfileDB& instance();
+  /// Rebuild the singleton from the current environment (tests flip
+  /// DACE_PROFILE_DB* between cases).  The old instance leaks by design.
+  static void reset_for_testing();
+
+  bool enabled() const { return cfg_.enabled && !dir_failed_; }
+  const DbConfig& config() const { return cfg_; }
+  const std::string& dir() const { return cfg_.dir; }
+  DbStats stats() const;
+
+  /// Load the verified entry for `program_hash`; false on miss (corrupt
+  /// entries are deleted and reported as misses).
+  bool load_map(uint64_t program_hash, MapProfile* out);
+  /// Merge one process's teardown snapshot into the stored entry under
+  /// the key lock (EMA for ns/iter, sum for counters, max for tier).
+  /// False when the DB could not take the update (disabled, lock
+  /// timeout, write failure) -- never throws.
+  bool merge_map(const MapProfile& delta);
+
+  bool load_pipeline(uint64_t sdfg_hash, PipelineProfile* out);
+  bool merge_pipeline(uint64_t sdfg_hash,
+                      const std::vector<PassStat>& delta);
+
+  /// All verified map entries (sdfg-prof/tests; corrupt ones deleted).
+  std::vector<MapProfile> list_maps();
+  /// Remove every entry.  Returns the number of files removed.
+  int purge();
+
+  /// Entry file path for a map program (tests corrupt it in place).
+  std::string map_path(uint64_t program_hash) const;
+  std::string pipeline_path(uint64_t sdfg_hash) const;
+
+ private:
+  bool load_file(const std::string& path, const char* kind,
+                 std::string* body);
+  bool commit_file(const std::string& path, const std::string& body);
+
+  DbConfig cfg_;
+  bool dir_failed_ = false;  // store root could not be created: disabled
+  mutable std::mutex mu_;    // guards stats_
+  mutable DbStats stats_;
+};
+
+/// True when DACE_PGO=1: the profile-guided consumers are armed.  Read
+/// from the environment on every call (tests and benches flip it
+/// between executors); one getenv, only consulted at program-compile
+/// and pipeline-build time.
+bool pgo_enabled();
+
+/// Last committed rewriting pass of the most recent auto_optimize run in
+/// this process ("" when none ran).  Executor teardown stamps it into
+/// the map profiles it flushes -- the same coarse attribution sdfg-prof
+/// derives from a trace.
+void note_last_rewrite(const std::string& pass);
+std::string last_rewrite();
+
+}  // namespace dace::prof

@@ -7,6 +7,7 @@
 #include <cstdlib>
 #include <sstream>
 
+#include "common/metrics.hpp"
 #include "common/obs.hpp"
 
 namespace dace::dist {
@@ -80,6 +81,7 @@ void World::mark_dead(int rank) {
 }
 
 void World::record_event(const FaultEvent& e) {
+  METRIC_INC("dacepp_dist_faults_injected_total");
   std::lock_guard<std::mutex> lk(mu_);
   events_.push_back(e);
 }

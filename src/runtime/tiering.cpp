@@ -10,6 +10,7 @@
 #include <tuple>
 
 #include "codegen/artifact_cache.hpp"
+#include "common/metrics.hpp"
 #include "common/obs.hpp"
 
 namespace dace::rt {
@@ -52,6 +53,7 @@ void compile_into(std::shared_ptr<NativeProgram> native, Program prog,
       << "\",\"ok\":" << (built.valid() ? "true" : "false") << "}";
     span.set_args(a.str());
   }
+  METRIC_INC("dacepp_jit_compiles_total");
   if (built.valid()) {
     native->fn = built.fn();
     native->compile_seconds = built.compile_seconds();
@@ -70,6 +72,7 @@ void compile_into(std::shared_ptr<NativeProgram> native, Program prog,
     cg::cache::ArtifactCache::instance().negative_store(
         prog.hash(), compiler, "tier1 build failed");
     native->state.store(NativeProgram::kFailed, std::memory_order_release);
+    METRIC_INC("dacepp_jit_failures_total");
   }
 }
 
@@ -102,6 +105,7 @@ std::shared_ptr<NativeProgram> request_native(
     auto it = c.entries.find(key);
     if (it != c.entries.end()) {
       OBS_INSTANT("jit", "cache-hit");
+      METRIC_INC("dacepp_jit_cache_hits_total");
       return it->second;
     }
     if (c.failed.count({prog.hash(), cfg.compiler})) {
@@ -112,6 +116,7 @@ std::shared_ptr<NativeProgram> request_native(
       dead->state.store(NativeProgram::kFailed, std::memory_order_release);
       c.entries.emplace(key, dead);
       OBS_INSTANT("jit", "negative-cache-hit");
+      METRIC_INC("dacepp_jit_negative_hits_total");
       return dead;
     }
   }
@@ -126,6 +131,7 @@ std::shared_ptr<NativeProgram> request_native(
     dead->state.store(NativeProgram::kFailed, std::memory_order_release);
     auto [it, inserted] = c.entries.emplace(key, dead);
     OBS_INSTANT("jit", "negative-cache-hit");
+    METRIC_INC("dacepp_jit_negative_hits_total");
     return it->second;  // a racing compile may have won the slot; honor it
   }
   auto native = std::make_shared<NativeProgram>();

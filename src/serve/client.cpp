@@ -31,6 +31,10 @@ Reply Client::ping() {
   return request(Verb::Ping, "", /*retry_shed=*/false);
 }
 
+Reply Client::metrics() {
+  return request(Verb::Metrics, "", /*retry_shed=*/false);
+}
+
 Reply Client::request(Verb verb, const std::string& payload,
                       bool retry_shed) {
   Reply r;

@@ -42,6 +42,8 @@ class Client {
   Reply run(const RunRequest& req);
   Reply stats();
   Reply ping();
+  /// Metrics registry snapshot; payload is Prometheus text, not JSON.
+  Reply metrics();
 
  private:
   Reply request(Verb verb, const std::string& payload, bool retry_shed);

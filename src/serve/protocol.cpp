@@ -64,6 +64,7 @@ const char* verb_name(Verb v) {
     case Verb::Run: return "run";
     case Verb::Stats: return "stats";
     case Verb::Ping: return "ping";
+    case Verb::Metrics: return "metrics";
     case Verb::ReplyOk: return "reply-ok";
     case Verb::ReplyError: return "reply-error";
   }
@@ -75,6 +76,7 @@ bool known_verb(uint16_t v) {
     case Verb::Run:
     case Verb::Stats:
     case Verb::Ping:
+    case Verb::Metrics:
     case Verb::ReplyOk:
     case Verb::ReplyError:
       return true;

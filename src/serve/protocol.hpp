@@ -45,9 +45,10 @@ constexpr uint16_t kVersion = 1;
 constexpr size_t kHeaderBytes = 24;
 
 enum class Verb : uint16_t {
-  Run = 1,    // compile-and-run a DaCeLang program
-  Stats = 2,  // serve counters as JSON
-  Ping = 3,   // liveness probe
+  Run = 1,      // compile-and-run a DaCeLang program
+  Stats = 2,    // serve counters as JSON
+  Ping = 3,     // liveness probe
+  Metrics = 4,  // metrics registry, Prometheus text exposition
   ReplyOk = 100,
   ReplyError = 101,
 };

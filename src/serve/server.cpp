@@ -18,6 +18,7 @@
 #include "codegen/artifact_cache.hpp"
 #include "common/common.hpp"
 #include "common/diag.hpp"
+#include "common/metrics.hpp"
 #include "common/obs.hpp"
 #include "frontend/lowering.hpp"
 #include "runtime/executor.hpp"
@@ -342,6 +343,7 @@ void Server::reader_loop(std::shared_ptr<Conn> conn) {
       {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.protocol_errors;
+        METRIC_INC("dacepp_serve_protocol_errors_total");
       }
       OBS_INSTANT("serve", "protocol-error",
                   "{\"code\":\"" + d.code + "\"}");
@@ -379,12 +381,22 @@ bool Server::handle_frame(const std::shared_ptr<Conn>& conn, const Frame& f) {
       return conn->fd >= 0 &&
              write_frame(conn->fd, Verb::ReplyOk, payload, &why);
     }
+    case Verb::Metrics: {
+      // Live registry snapshot, Prometheus text format.  Answered inline
+      // like Stats: exposition never queues behind Run jobs.
+      std::string payload = metrics::expose_text();
+      std::string why;
+      std::lock_guard<std::mutex> wl(conn->write_mu);
+      return conn->fd >= 0 &&
+             write_frame(conn->fd, Verb::ReplyOk, payload, &why);
+    }
     case Verb::Run:
       break;
     default:
       {
         std::lock_guard<std::mutex> lk(mu_);
         ++stats_.protocol_errors;
+        METRIC_INC("dacepp_serve_protocol_errors_total");
       }
       reply_error(conn, "", "E605",
                   std::string("verb '") + verb_name(f.verb) +
@@ -430,6 +442,7 @@ bool Server::handle_frame(const std::shared_ptr<Conn>& conn, const Frame& f) {
     if (it != inflight_.end()) {
       // In-flight dedup: attach to the winner; one compile serves all.
       ++stats_.deduped;
+      METRIC_INC("dacepp_serve_deduped_total");
       it->second->subscribers.emplace_back(conn, job->req.id);
       OBS_INSTANT("serve", "dedup",
                   "{\"key\":\"" + hex16(job->key) + "\"}");
@@ -437,9 +450,11 @@ bool Server::handle_frame(const std::shared_ptr<Conn>& conn, const Frame& f) {
     }
     if (!queue_.push(job, conn->id, job->req.weight)) {
       ++stats_.shed;
+      METRIC_INC("dacepp_serve_shed_total");
       shed_why = "queue full (" + std::to_string(cfg_.queue_max) + " jobs)";
     } else {
       ++stats_.accepted;
+      METRIC_INC("dacepp_serve_accepted_total");
       auto inf = std::make_shared<Inflight>();
       inf->winner = job;
       inflight_[job->key] = inf;
@@ -456,6 +471,7 @@ bool Server::handle_frame(const std::shared_ptr<Conn>& conn, const Frame& f) {
   }
   OBS_INSTANT("serve", "accepted", "{\"key\":\"" + hex16(job->key) + "\"}");
   OBS_COUNTER("serve", "queue-depth", (double)depth);
+  METRIC_GAUGE_SET("dacepp_serve_queue_depth", depth);
   queue_cv_.notify_one();
   return true;
 }
@@ -661,13 +677,17 @@ void Server::finish_job(const std::shared_ptr<Job>& job) {
     }
     if (job->ok) {
       ++stats_.completed;
+      METRIC_INC("dacepp_serve_completed_total");
     } else if (job->code == "E611") {
       ++stats_.compile_errors;
+      METRIC_INC("dacepp_serve_compile_errors_total");
     } else if (job->code == "E608") {
       if (job->wedged.load()) ++stats_.wedged;
       else ++stats_.deadline_exceeded;
+      METRIC_INC("dacepp_serve_deadline_total");
     } else {
       ++stats_.crashed;
+      METRIC_INC("dacepp_serve_crashed_total");
     }
   }
   targets.emplace(targets.begin(), job->conn, job->req.id);

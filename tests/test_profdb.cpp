@@ -1,0 +1,419 @@
+// Profile database + metrics registry + profile-guided tiering tests.
+//
+// Three layers:
+//   Metrics*  -- registry unit tests: counter/gauge/histogram semantics,
+//                Prometheus text exposition, the DACE_METRICS=0 freeze
+//   ProfDb*   -- the on-disk store: merge round-trip with EMA folding,
+//                corrupt/truncated entries deleted on sight and rebuilt,
+//                DACE_PROFILE_DB=0 kill switch, and a fork-based
+//                two-process concurrent flush on one key that must leave
+//                exactly one valid entry
+//   Pgo*      -- the read side: DACE_PGO=1 over an *empty* DB must be
+//                bit-identical to DACE_PGO=0, and over a warm DB must
+//                pre-promote a known-hot map with no warmup iterations
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "common/metrics.hpp"
+#include "common/profdb.hpp"
+#include "frontend/lowering.hpp"
+#include "kernels/suite.hpp"
+#include "runtime/executor.hpp"
+#include "runtime/tiering.hpp"
+#include "transforms/auto_optimize.hpp"
+
+namespace dace {
+namespace {
+
+namespace fs = std::filesystem;
+using kernels::Kernel;
+using rt::Bindings;
+
+/// Scoped environment override; restores the previous value on exit.
+class EnvGuard {
+ public:
+  EnvGuard(const char* name, const char* value) : name_(name) {
+    if (const char* old = std::getenv(name)) {
+      had_old_ = true;
+      old_ = old;
+    }
+    setenv(name, value, 1);
+  }
+  ~EnvGuard() {
+    if (had_old_) {
+      setenv(name_.c_str(), old_.c_str(), 1);
+    } else {
+      unsetenv(name_.c_str());
+    }
+  }
+
+ private:
+  std::string name_, old_;
+  bool had_old_ = false;
+};
+
+std::string make_temp_dir() {
+  char tmpl[] = "/tmp/dacepp-profdb-test-XXXXXX";
+  EXPECT_NE(mkdtemp(tmpl), nullptr);
+  return tmpl;
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry
+// ---------------------------------------------------------------------------
+
+TEST(Metrics, CounterSemantics) {
+  auto& c = metrics::counter("dacepp_test_counter_semantics_total");
+  c.reset();
+  c.inc();
+  c.inc(4);
+  EXPECT_EQ(c.value(), 5u);
+  // Interning: same name, same instrument.
+  EXPECT_EQ(&metrics::counter("dacepp_test_counter_semantics_total"), &c);
+}
+
+TEST(Metrics, GaugeSemantics) {
+  auto& g = metrics::gauge("dacepp_test_gauge_semantics");
+  g.reset();
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+}
+
+TEST(Metrics, HistogramBuckets) {
+  EXPECT_EQ(metrics::Histogram::bucket_of(0), 0);
+  EXPECT_EQ(metrics::Histogram::bucket_of(1), 1);
+  EXPECT_EQ(metrics::Histogram::bucket_of(2), 2);
+  EXPECT_EQ(metrics::Histogram::bucket_of(3), 2);
+  EXPECT_EQ(metrics::Histogram::bucket_of(4), 3);
+  EXPECT_EQ(metrics::Histogram::bucket_of(~0ull),
+            metrics::Histogram::kBuckets - 1);
+  auto& h = metrics::histogram("dacepp_test_histogram_ns");
+  h.reset();
+  h.observe(1);
+  h.observe(1000);
+  h.observe(1000);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 2001u);
+  EXPECT_EQ(h.bucket(metrics::Histogram::bucket_of(1000)), 2u);
+}
+
+TEST(Metrics, ExposeTextFormat) {
+  auto& c = metrics::counter("dacepp_test_expose_total");
+  c.reset();
+  c.inc(3);
+  auto& h = metrics::histogram("dacepp_test_expose_ns");
+  h.reset();
+  h.observe(5);
+  std::string text = metrics::expose_text();
+  EXPECT_NE(text.find("# TYPE dacepp_test_expose_total counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("dacepp_test_expose_total 3"), std::string::npos);
+  EXPECT_NE(text.find("dacepp_test_expose_ns_bucket{le="), std::string::npos);
+  EXPECT_NE(text.find("dacepp_test_expose_ns_sum 5"), std::string::npos);
+  EXPECT_NE(text.find("dacepp_test_expose_ns_count 1"), std::string::npos);
+}
+
+TEST(Metrics, DisabledFreezesValues) {
+  auto& c = metrics::counter("dacepp_test_freeze_total");
+  c.reset();
+  c.inc();
+  metrics::set_enabled(false);
+  c.inc(100);
+  metrics::set_enabled(true);
+  EXPECT_EQ(c.value(), 1u);
+  c.inc();
+  EXPECT_EQ(c.value(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Profile DB store
+// ---------------------------------------------------------------------------
+
+class ProfDbTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = make_temp_dir();
+    setenv("DACE_PROFILE_DB_DIR", root_.c_str(), 1);
+    unsetenv("DACE_PROFILE_DB");
+    unsetenv("DACE_PGO");
+    prof::ProfileDB::reset_for_testing();
+  }
+  void TearDown() override {
+    unsetenv("DACE_PROFILE_DB_DIR");
+    unsetenv("DACE_PROFILE_DB");
+    unsetenv("DACE_PGO");
+    prof::ProfileDB::reset_for_testing();
+    std::error_code ec;
+    fs::remove_all(root_, ec);
+  }
+
+  static prof::MapProfile sample(uint64_t hash, double ns0) {
+    prof::MapProfile mp;
+    mp.program_hash = hash;
+    mp.label = "jacobi";
+    mp.runs = 1;
+    mp.launches = 10;
+    mp.iterations = 1000;
+    mp.tier = 1;
+    mp.ns_per_iter[0] = ns0;
+    mp.ns_per_iter[1] = ns0 / 10.0;
+    mp.instrs = 42;
+    mp.last_pass = "map_fusion";
+    return mp;
+  }
+
+  std::string root_;
+};
+
+TEST_F(ProfDbTest, EnvDirResolution) {
+  auto& db = prof::ProfileDB::instance();
+  EXPECT_TRUE(db.enabled());
+  EXPECT_EQ(db.dir(), root_);
+}
+
+TEST_F(ProfDbTest, MergeRoundTripWithEma) {
+  auto& db = prof::ProfileDB::instance();
+  ASSERT_TRUE(db.merge_map(sample(0xfeed, 100.0)));
+  ASSERT_TRUE(db.merge_map(sample(0xfeed, 300.0)));
+  prof::MapProfile got;
+  ASSERT_TRUE(db.load_map(0xfeed, &got));
+  EXPECT_EQ(got.program_hash, 0xfeedu);
+  EXPECT_EQ(got.label, "jacobi");
+  EXPECT_EQ(got.runs, 2);
+  EXPECT_EQ(got.launches, 20);
+  EXPECT_EQ(got.iterations, 2000);
+  EXPECT_EQ(got.tier, 1);
+  // 50/50 EMA fold: (100 + 300) / 2.
+  EXPECT_DOUBLE_EQ(got.ns_per_iter[0], 200.0);
+  EXPECT_EQ(got.instrs, 84);
+  EXPECT_EQ(got.last_pass, "map_fusion");
+  EXPECT_TRUE(db.load_map(0xbeef, &got) == false);  // miss stays a miss
+}
+
+TEST_F(ProfDbTest, ListAndPurge) {
+  auto& db = prof::ProfileDB::instance();
+  ASSERT_TRUE(db.merge_map(sample(1, 10.0)));
+  ASSERT_TRUE(db.merge_map(sample(2, 20.0)));
+  EXPECT_EQ(db.list_maps().size(), 2u);
+  EXPECT_GE(db.purge(), 2);
+  EXPECT_EQ(db.list_maps().size(), 0u);
+}
+
+TEST_F(ProfDbTest, CorruptEntryDeletedOnSightAndRebuilt) {
+  auto& db = prof::ProfileDB::instance();
+  ASSERT_TRUE(db.merge_map(sample(0xc0, 50.0)));
+  std::string path = db.map_path(0xc0);
+  {
+    std::ofstream f(path, std::ios::binary);
+    f << "daceppprof 1\nkind map\ntotal garbage, wrong checksum\n";
+  }
+  prof::MapProfile got;
+  EXPECT_FALSE(db.load_map(0xc0, &got));
+  EXPECT_FALSE(fs::exists(path)) << "corrupt entry must be deleted on sight";
+  EXPECT_GE(db.stats().corrupt_rejected, 1u);
+  // The key is usable again immediately.
+  ASSERT_TRUE(db.merge_map(sample(0xc0, 50.0)));
+  ASSERT_TRUE(db.load_map(0xc0, &got));
+  EXPECT_EQ(got.runs, 1);
+}
+
+TEST_F(ProfDbTest, TruncatedEntryDeletedOnSight) {
+  auto& db = prof::ProfileDB::instance();
+  ASSERT_TRUE(db.merge_map(sample(0xdead, 50.0)));
+  std::string path = db.map_path(0xdead);
+  std::string text;
+  {
+    std::ifstream f(path, std::ios::binary);
+    text.assign(std::istreambuf_iterator<char>(f),
+                std::istreambuf_iterator<char>());
+  }
+  ASSERT_GT(text.size(), 10u);
+  {
+    std::ofstream f(path, std::ios::binary | std::ios::trunc);
+    f << text.substr(0, text.size() / 2);  // tear the record
+  }
+  prof::MapProfile got;
+  EXPECT_FALSE(db.load_map(0xdead, &got));
+  EXPECT_FALSE(fs::exists(path));
+}
+
+TEST_F(ProfDbTest, DisabledViaEnv) {
+  EnvGuard off("DACE_PROFILE_DB", "0");
+  prof::ProfileDB::reset_for_testing();
+  auto& db = prof::ProfileDB::instance();
+  EXPECT_FALSE(db.enabled());
+  EXPECT_FALSE(db.merge_map(sample(1, 10.0)));
+  prof::MapProfile got;
+  EXPECT_FALSE(db.load_map(1, &got));
+}
+
+TEST_F(ProfDbTest, PipelineRoundTrip) {
+  auto& db = prof::ProfileDB::instance();
+  std::vector<prof::PassStat> delta(1);
+  delta[0].name = "strict_fusion";
+  delta[0].runs = 1;
+  delta[0].applied = 1;
+  delta[0].rolled_back = 1;
+  ASSERT_TRUE(db.merge_pipeline(0x51, delta));
+  ASSERT_TRUE(db.merge_pipeline(0x51, delta));
+  prof::PipelineProfile got;
+  ASSERT_TRUE(db.load_pipeline(0x51, &got));
+  EXPECT_EQ(got.runs, 2);
+  ASSERT_EQ(got.passes.size(), 1u);
+  EXPECT_EQ(got.passes[0].name, "strict_fusion");
+  EXPECT_EQ(got.passes[0].rolled_back, 2);
+  EXPECT_EQ(got.passes[0].committed, 0);
+}
+
+// Two processes flushing the same key concurrently: the per-key flock
+// serializes read-merge-write, so the final entry must verify and hold
+// the sum of both contributions -- not a torn mix.
+TEST_F(ProfDbTest, ConcurrentForkFlushOneValidEntry) {
+  const int kWriters = 4;
+  prof::DbConfig cfg;
+  cfg.enabled = true;
+  cfg.dir = root_;
+  cfg.lock_timeout_ms = 10000;
+  std::vector<pid_t> kids;
+  for (int i = 0; i < kWriters; ++i) {
+    pid_t pid = fork();
+    ASSERT_GE(pid, 0);
+    if (pid == 0) {
+      prof::ProfileDB db(cfg);
+      bool ok = db.merge_map(sample(0xabba, 100.0 * (i + 1)));
+      _exit(ok ? 0 : 1);
+    }
+    kids.push_back(pid);
+  }
+  for (pid_t pid : kids) {
+    int status = 0;
+    ASSERT_EQ(waitpid(pid, &status, 0), pid);
+    EXPECT_TRUE(WIFEXITED(status) && WEXITSTATUS(status) == 0)
+        << "child writer failed";
+  }
+  prof::ProfileDB db(cfg);
+  prof::MapProfile got;
+  ASSERT_TRUE(db.load_map(0xabba, &got)) << "entry must verify after race";
+  EXPECT_EQ(got.runs, kWriters);
+  EXPECT_EQ(got.launches, 10 * kWriters);
+  EXPECT_EQ(got.iterations, 1000 * kWriters);
+  // Exactly one entry file for the key (plus its lock sibling).
+  int entries = 0;
+  for (const auto& e : fs::directory_iterator(root_))
+    if (e.path().extension() == ".prof") ++entries;
+  EXPECT_EQ(entries, 1);
+}
+
+TEST(ProfDbMisc, LastRewriteNote) {
+  prof::note_last_rewrite("greedy_fusion");
+  EXPECT_EQ(prof::last_rewrite(), "greedy_fusion");
+  prof::note_last_rewrite("");
+  EXPECT_EQ(prof::last_rewrite(), "");
+}
+
+// ---------------------------------------------------------------------------
+// Profile-guided tiering
+// ---------------------------------------------------------------------------
+
+class PgoTest : public ProfDbTest {
+ protected:
+  const Kernel& k() const { return kernels::kernel("jacobi_2d"); }
+  const sym::SymbolMap& sizes() const { return k().presets.at("test"); }
+
+  std::unique_ptr<ir::SDFG> build() const {
+    auto sdfg = fe::compile_to_sdfg(k().source);
+    xf::auto_optimize(*sdfg, ir::DeviceType::CPU);
+    return sdfg;
+  }
+};
+
+// DACE_PGO=1 over an empty DB must be bit-identical to DACE_PGO=0:
+// every lookup misses, so nothing is seeded and nothing pre-promotes.
+TEST_F(PgoTest, EmptyDbIsByteIdenticalToOff) {
+  EnvGuard thr("DACEPP_JIT_THRESHOLD", "1000000000000");
+  auto sdfg = build();
+
+  Bindings off = k().init(sizes());
+  int64_t off_native = 0;
+  {
+    rt::Executor ex(*sdfg);
+    ex.run(off, sizes());
+    off_native = ex.native_launches();
+  }
+
+  prof::ProfileDB::instance().purge();  // drop the teardown flush above
+  Bindings on = k().init(sizes());
+  int64_t on_native = 0;
+  {
+    EnvGuard pgo("DACE_PGO", "1");
+    rt::Executor ex(*sdfg);
+    ex.run(on, sizes());
+    on_native = ex.native_launches();
+  }
+
+  EXPECT_EQ(off_native, 0);
+  EXPECT_EQ(on_native, 0) << "empty DB must not pre-promote";
+  for (const auto& out : k().outputs)
+    EXPECT_EQ(rt::max_abs_diff(off.at(out), on.at(out)), 0.0)
+        << "output '" << out << "' perturbed by DACE_PGO=1 over an empty DB";
+}
+
+// A warm DB plus DACE_PGO=1 must pre-promote the hot map straight to
+// Tier 1 even though the promotion threshold is unreachably high.
+TEST_F(PgoTest, WarmDbPrePromotesHotMap) {
+  auto sdfg = build();
+
+  {
+    // Recording run: promote by threshold, flush tier=1 at teardown.
+    EnvGuard thr("DACEPP_JIT_THRESHOLD", "1");
+    EnvGuard sync("DACEPP_JIT_SYNC", "1");
+    rt::Executor ex(*sdfg);
+    Bindings b = k().init(sizes());
+    ex.run(b, sizes());
+    if (ex.native_launches() == 0)
+      GTEST_SKIP() << "native tier unavailable (no host compiler)";
+  }
+  ASSERT_FALSE(prof::ProfileDB::instance().list_maps().empty())
+      << "teardown must have flushed a profile";
+
+  uint64_t pre0 =
+      metrics::counter("dacepp_pgo_prepromotions_total").value();
+  EnvGuard thr("DACEPP_JIT_THRESHOLD", "1000000000000");
+  EnvGuard sync("DACEPP_JIT_SYNC", "1");
+
+  {
+    // Control: without DACE_PGO the huge threshold keeps the VM tier.
+    rt::Executor ex(*sdfg);
+    Bindings b = k().init(sizes());
+    ex.run(b, sizes());
+    EXPECT_EQ(ex.native_launches(), 0);
+  }
+  {
+    EnvGuard pgo("DACE_PGO", "1");
+    rt::Executor ex(*sdfg);
+    Bindings b = k().init(sizes());
+    ex.run(b, sizes());
+    EXPECT_GT(ex.native_launches(), 0)
+        << "warm DB + DACE_PGO=1 must pre-promote with no warmup";
+    EXPECT_GT(ex.native_promotions(), 0);
+
+    Bindings ref = k().init(sizes());
+    k().reference(ref, sizes());
+    for (const auto& out : k().outputs)
+      EXPECT_TRUE(rt::allclose(b.at(out), ref.at(out), 1e-9, 1e-11))
+          << "pre-promoted run diverges on '" << out << "'";
+  }
+  EXPECT_GT(metrics::counter("dacepp_pgo_prepromotions_total").value(), pre0);
+}
+
+}  // namespace
+}  // namespace dace

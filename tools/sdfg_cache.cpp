@@ -39,6 +39,7 @@
 #include <vector>
 
 #include "codegen/artifact_cache.hpp"
+#include "common/metrics.hpp"
 
 namespace fs = std::filesystem;
 using dace::cg::cache::ArtifactCache;
@@ -164,7 +165,19 @@ int cmd_stat(ArtifactCache& cache, bool json) {
               << ",\"session\":{\"hits\":" << st.hits
               << ",\"misses\":" << st.misses << ",\"commits\":" << st.commits
               << ",\"corrupt_rejected\":" << st.corrupt_rejected
-              << ",\"evictions\":" << st.evictions << "}}\n";
+              << ",\"evictions\":" << st.evictions << "}"
+              // Live registry counters (common/metrics.hpp): identical to
+              // the session block for this process, but keyed by the same
+              // names the serve Metrics verb exposes, so scripts can
+              // correlate without a trace file.
+              << ",\"metrics\":{\"hits\":"
+              << dace::metrics::counter("dacepp_cache_hits_total").value()
+              << ",\"misses\":"
+              << dace::metrics::counter("dacepp_cache_misses_total").value()
+              << ",\"evictions\":"
+              << dace::metrics::counter("dacepp_cache_evictions_total")
+                     .value()
+              << "}}\n";
   } else {
     std::cout << "dir:       " << cache.dir() << "\n"
               << "enabled:   " << (cache.enabled() ? "yes" : "no") << "\n"

@@ -5,7 +5,7 @@
 //   sdfg-client [--socket PATH] [--file F] [--function NAME] [--sym K=V]
 //               [--deadline-ms N] [--weight W] [--id ID] [--timeout-ms N]
 //               [--retries N] [--hammer N] [--json]
-//   sdfg-client [--socket PATH] --ping | --stats
+//   sdfg-client [--socket PATH] --ping | --stats | --metrics
 //   sdfg-client --selftest
 //
 // With --file the program source is read from F ("-" = stdin).  Retries
@@ -46,7 +46,7 @@ int usage() {
          "                   [--sym K=V] [--deadline-ms N] [--weight W]\n"
          "                   [--id ID] [--timeout-ms N] [--retries N]\n"
          "                   [--hammer N] [--json]\n"
-         "       sdfg-client [--socket PATH] --ping | --stats\n"
+         "       sdfg-client [--socket PATH] --ping | --stats | --metrics\n"
          "       sdfg-client --selftest\n";
   return 64;
 }
@@ -171,7 +171,8 @@ int main(int argc, char** argv) {
   RunRequest req;
   std::string file;
   int hammer = 1;
-  bool do_ping = false, do_stats = false, json_out = false;
+  bool do_ping = false, do_stats = false, do_metrics = false,
+       json_out = false;
   for (int i = 1; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -182,6 +183,8 @@ int main(int argc, char** argv) {
       do_ping = true;
     } else if (a == "--stats") {
       do_stats = true;
+    } else if (a == "--metrics") {
+      do_metrics = true;
     } else if (a == "--json") {
       json_out = true;
     } else if (a == "--socket") {
@@ -244,6 +247,16 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::cout << r.payload << "\n";
+    return 0;
+  }
+  if (do_metrics) {
+    // Prometheus text straight from the daemon's metrics registry.
+    Reply r = cli.metrics();
+    if (!r.ok) {
+      std::cerr << "sdfg-client: " << r.message << "\n";
+      return 1;
+    }
+    std::cout << r.payload;
     return 0;
   }
 

@@ -11,13 +11,16 @@
 //
 //   sdfg-prof t.json            human-readable report
 //   sdfg-prof --json t.json     machine-readable (DiagSink-style JSON)
+//   sdfg-prof --metrics t.json  Prometheus-style counter dump
 //
-// Exit codes: 0 = report produced, 1 = malformed input.  Malformed input
-// is diagnosed with stable E5xx codes:
+// Exit codes: 0 = report produced, 1 = usage error, 2 = malformed or
+// empty input.  Bad input is diagnosed with stable E5xx codes:
 //   E501  cannot open the trace file
 //   E502  JSON syntax error (with line/col)
 //   E503  well-formed JSON that is not a Chrome trace document
 //   E504  malformed trace event inside traceEvents
+//   E505  trace parsed but holds no events (an empty report would
+//         otherwise read as a silent success)
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -982,6 +985,8 @@ const char* kSelftestGolden =
     "  rank 0: 1 comm ops, 1 faults [drop=1], 1 retransmits\n"
     "  rank 1: 1 comm ops, 0 faults, 0 retransmits\n";
 
+std::string render_metrics(const Report& r);
+
 int selftest() {
   // Golden report over the synthetic trace.
   JV doc = JsonParser(std::string(kSelftestTrace)).parse();
@@ -1068,13 +1073,55 @@ int selftest() {
     std::fprintf(stderr, "sdfg-prof selftest: error paths not exercised\n");
     return 1;
   }
+  // --metrics exposition carries the aggregates under the registry names.
+  std::string mx = render_metrics(r);
+  if (mx.find("dacepp_trace_events_total " + std::to_string(r.events)) ==
+          std::string::npos ||
+      mx.find("dacepp_cache_hits_total 1") == std::string::npos ||
+      mx.find("dacepp_serve_accepted_total 1") == std::string::npos) {
+    std::fprintf(stderr, "sdfg-prof selftest: bad --metrics output\n");
+    return 1;
+  }
   std::printf("sdfg-prof selftest OK (%zu events aggregated)\n", r.events);
   return 0;
 }
 
+/// Prometheus-style text exposition of the trace-derived aggregates --
+/// the offline twin of the serve daemon's Metrics verb, using the same
+/// metric names so dashboards need only one vocabulary.
+std::string render_metrics(const Report& r) {
+  std::ostringstream os;
+  auto c = [&](const char* name, long long v) {
+    os << "# TYPE " << name << " counter\n" << name << " " << v << "\n";
+  };
+  c("dacepp_trace_events_total", (long long)r.events);
+  c("dacepp_jit_compiles_total", r.jit_compiles);
+  c("dacepp_jit_cache_hits_total", r.jit_cache_hits);
+  c("dacepp_jit_negative_hits_total", r.jit_negative_hits);
+  c("dacepp_tier_promotions_total", r.tier_promotions);
+  c("dacepp_map_compiles_total", r.map_compiles);
+  c("dacepp_cache_hits_total", r.cache.hits);
+  c("dacepp_cache_misses_total", r.cache.misses);
+  c("dacepp_cache_commits_total", r.cache.commits);
+  c("dacepp_cache_corrupt_total", r.cache.corrupt_rejected);
+  c("dacepp_cache_evictions_total", r.cache.evictions);
+  c("dacepp_cache_negative_hits_total", r.cache.negative_hits);
+  c("dacepp_cache_negative_stores_total", r.cache.negative_stores);
+  c("dacepp_cache_faults_injected_total", r.cache.faults);
+  c("dacepp_serve_accepted_total", r.serve.accepted);
+  c("dacepp_serve_shed_total", r.serve.shed);
+  c("dacepp_serve_deduped_total", r.serve.deduped);
+  c("dacepp_serve_completed_total", r.serve.completed);
+  c("dacepp_serve_compile_errors_total", r.serve.compile_errors);
+  c("dacepp_serve_deadline_total", r.serve.deadlines);
+  c("dacepp_serve_crashed_total", r.serve.crashed);
+  c("dacepp_serve_protocol_errors_total", r.serve.protocol_errors);
+  return os.str();
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: sdfg-prof [--json] [--top N] TRACE.json\n"
+               "usage: sdfg-prof [--json|--metrics] [--top N] TRACE.json\n"
                "       sdfg-prof --selftest\n"
                "Aggregates an obs:: Chrome/Perfetto trace "
                "(DACE_TRACE_FILE=...) into a hot-node report.\n");
@@ -1084,6 +1131,7 @@ void usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool metrics = false;
   int top = 20;
   std::string path;
   for (int i = 1; i < argc; ++i) {
@@ -1091,6 +1139,8 @@ int main(int argc, char** argv) {
     if (a == "--selftest") return selftest();
     if (a == "--json") {
       json = true;
+    } else if (a == "--metrics") {
+      metrics = true;
     } else if (a == "--top") {
       if (i + 1 >= argc) {
         usage();
@@ -1140,10 +1190,21 @@ int main(int argc, char** argv) {
                  "not a valid trace: " + m.msg);
     }
   }
+  // A trace that parsed but recorded nothing is almost always a wiring
+  // mistake (DACE_TRACE_FILE unset during the run, wrong file, empty
+  // traceEvents): diagnose it instead of printing an empty report.
+  if (!sink.has_errors() && report.events == 0) {
+    sink.error("E505", 0, 0,
+               "empty trace: '" + path + "' holds no events");
+  }
   if (sink.has_errors()) {
     if (json) std::printf("%s\n", sink.to_json().c_str());
     std::fprintf(stderr, "%s", sink.render().c_str());
-    return 1;
+    return 2;
+  }
+  if (metrics) {
+    std::printf("%s", render_metrics(report).c_str());
+    return 0;
   }
   if (json) {
     std::printf("%s", render_json(report, path, top).c_str());
